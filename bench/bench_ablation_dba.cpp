@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: the dynamic-bandwidth-allocation design space the paper
+ * explored — FCFS (no allocation), the paper's 25%-step ladder, and
+ * proportional allocation quantised at 6.25%, 12.5% and 25% steps
+ * (Section III-B: "we considered ... 6.25%, 12.5% and 25% and
+ * determined that 25% performed the best").
+ */
+
+#include "bench_common.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Ablation — DBA allocation strategy and step size",
+                  "Section III-B design-space discussion");
+
+    traffic::BenchmarkSuite suite;
+    core::PearlConfig cfg;
+
+    struct Variant
+    {
+        std::string name;
+        core::DbaConfig dba;
+    };
+    std::vector<Variant> variants;
+    {
+        core::DbaConfig fcfs;
+        fcfs.mode = core::DbaConfig::Mode::Fcfs;
+        variants.push_back({"FCFS (no allocation)", fcfs});
+
+        core::DbaConfig ladder;
+        variants.push_back({"Paper ladder (25% steps)", ladder});
+
+        for (double step : {0.25, 0.125, 0.0625}) {
+            core::DbaConfig prop;
+            prop.mode = core::DbaConfig::Mode::Proportional;
+            prop.stepFraction = step;
+            variants.push_back(
+                {"Proportional " + TextTable::pct(step, 2), prop});
+        }
+    }
+
+    TextTable t({"variant", "thru (flits/cyc)", "avg lat (cyc)",
+                 "CPU pkts", "GPU pkts"});
+    for (const auto &v : variants) {
+        const auto runs = bench::runPearlConfig(
+            suite, v.name, cfg, v.dba, [] {
+                return std::make_unique<core::StaticPolicy>(
+                    photonic::WlState::WL64);
+            });
+        const auto avg = metrics::average(runs, "avg");
+        t.addRow({v.name,
+                  TextTable::num(avg.throughputFlitsPerCycle, 3),
+                  TextTable::num(avg.avgLatencyCycles, 0),
+                  std::to_string(avg.cpuPackets),
+                  std::to_string(avg.gpuPackets)});
+    }
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: the ML label choice.  The paper predicts *injected packets*
+ * rather than buffer utilisation because utilisation depends on the
+ * wavelength state itself (Section IV-A).  This bench trains one model
+ * per label on data collected under random wavelength states and
+ * compares how well each predicts under a shifted (policy-driven) state
+ * distribution.
+ */
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/network.hpp"
+#include "ml/collector.hpp"
+#include "photonic/power_model.hpp"
+
+using namespace pearl;
+
+namespace {
+
+ml::Dataset
+collectWith(const traffic::BenchmarkPair &pair, core::PowerPolicy &policy,
+            ml::LabelKind label, std::uint64_t rw, std::uint64_t cycles,
+            std::uint64_t seed)
+{
+    core::PearlConfig cfg;
+    cfg.reservationWindow = rw;
+    photonic::PowerModel power;
+    core::PearlNetwork net(cfg, power, core::DbaConfig{}, &policy);
+    ml::WindowDatasetCollector collector(net.numNodes(), cfg.l3Node,
+                                         label);
+    net.setWindowCollector(collector.callback());
+    core::SystemConfig sys;
+    sys.seed = seed;
+    core::HeteroSystem system(
+        net, pair, sys, [&net](int n) { return &net.telemetryOf(n); });
+    system.run(cycles);
+    return collector.takeDataset();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation — ML label: injected packets vs buffer "
+                  "utilization",
+                  "Section IV-A label-choice discussion");
+
+    traffic::BenchmarkSuite suite;
+    const std::uint64_t rw = 500;
+    const std::uint64_t cycles = bench::envU64("PEARL_BENCH_TRAIN", 30000);
+
+    auto train_pairs = suite.trainingPairs();
+    train_pairs.resize(6); // one row per training CPU benchmark suffices
+    auto test_pairs = bench::testPairs(suite);
+
+    TextTable t({"label", "train NRMSE (random states)",
+                 "test NRMSE (policy states)"});
+    for (auto label : {ml::LabelKind::InjectedPackets,
+                       ml::LabelKind::BufferUtilization}) {
+        // Train under random states.
+        core::RandomPolicy random_policy(Rng(42), false);
+        ml::Dataset train;
+        std::uint64_t seed = 10;
+        for (const auto &pair : train_pairs) {
+            train.append(collectWith(pair, random_policy, label, rw,
+                                     cycles, ++seed));
+        }
+        ml::RidgeRegression model;
+        model.fit(train, 1.0);
+        const double train_nrmse =
+            ml::nrmseFit(train.labels, model.predictAll(train));
+
+        // Test under a *fixed-state* policy: a distribution shift the
+        // wavelength-dependent label suffers from.
+        core::StaticPolicy low(photonic::WlState::WL16);
+        ml::Dataset test;
+        for (const auto &pair : test_pairs) {
+            test.append(
+                collectWith(pair, low, label, rw, cycles, ++seed));
+        }
+        const double test_nrmse =
+            ml::nrmseFit(test.labels, model.predictAll(test));
+
+        t.addRow({label == ml::LabelKind::InjectedPackets
+                      ? "injected packets (paper)"
+                      : "buffer utilization (rejected)",
+                  TextTable::num(train_nrmse, 3),
+                  TextTable::num(test_nrmse, 3)});
+    }
+    bench::emit(t);
+    std::cout
+        << "\nReading the result: the paper argues the injected-packet\n"
+           "label is robust because cores 'try to inject regardless of\n"
+           "the laser power state'.  That holds for trace-driven\n"
+           "injection; in this closed-loop system the packets a router\n"
+           "*accepts* per window shrink when a low state backpressures\n"
+           "the buffers, so the injected-packet label also shifts with\n"
+           "the state distribution.  Whichever label scores worse under\n"
+           "the shift here, the control-theoretic argument for the\n"
+           "packet label stands: the occupancy label saturates at full\n"
+           "buffers and cannot distinguish demand beyond capacity.\n";
+    return 0;
+}

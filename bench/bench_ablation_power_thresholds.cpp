@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: the reactive power-scaling thresholds "were chosen to
+ * balance performance (throughput) and power saving and can be changed
+ * to favor either" (Section III-C).  This bench scales the four
+ * thresholds jointly and maps out the trade-off curve.
+ */
+
+#include "bench_common.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Ablation — Reactive power-scaling thresholds",
+                  "Section III-C threshold trade-off");
+
+    traffic::BenchmarkSuite suite;
+    core::DbaConfig dba;
+
+    // Baseline.
+    core::PearlConfig base_cfg;
+    const auto base_runs = bench::runPearlConfig(
+        suite, "64WL", base_cfg, dba, [] {
+            return std::make_unique<core::StaticPolicy>(
+                photonic::WlState::WL64);
+        });
+    const auto base = metrics::average(base_runs, "avg");
+
+    TextTable t({"threshold scale", "thru (flits/cyc)", "thru loss",
+                 "laser (W)", "savings"});
+    t.addRow({"(64WL baseline)",
+              TextTable::num(base.throughputFlitsPerCycle, 3), "-",
+              TextTable::num(base.laserPowerW, 3), "-"});
+
+    for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+        core::ReactiveThresholds thr;
+        thr.upper *= scale;
+        thr.midUpper *= scale;
+        thr.midLower *= scale;
+        thr.lower *= scale;
+        core::PearlConfig cfg;
+        cfg.reservationWindow = 500;
+        const auto runs = bench::runPearlConfig(
+            suite, "Dyn", cfg, dba, [thr] {
+                return std::make_unique<core::ReactivePolicy>(thr);
+            });
+        const auto avg = metrics::average(runs, "avg");
+        t.addRow({TextTable::num(scale, 2),
+                  TextTable::num(avg.throughputFlitsPerCycle, 3),
+                  TextTable::pct(1.0 - avg.throughputFlitsPerCycle /
+                                           base.throughputFlitsPerCycle),
+                  TextTable::num(avg.laserPowerW, 3),
+                  TextTable::pct(1.0 -
+                                 avg.laserPowerW / base.laserPowerW)});
+    }
+    bench::emit(t);
+    std::cout << "\nHigher thresholds favour power savings; lower "
+                 "thresholds favour throughput.\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: the DBA occupancy upper bounds.  The paper determined
+ * beta_CPU-UpperBound = 16% and beta_GPU-UpperBound = 6% by brute-force
+ * search on a held-out benchmark set (Section III-B); this bench sweeps
+ * the neighbourhood.
+ */
+
+#include "bench_common.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Ablation — DBA occupancy upper bounds",
+                  "Section III-B threshold search");
+
+    traffic::BenchmarkSuite suite;
+    core::PearlConfig cfg;
+
+    TextTable t({"cpuUB", "gpuUB", "thru (flits/cyc)", "avg lat",
+                 "CPU pkts", "GPU pkts"});
+    for (double cpu_ub : {0.08, 0.16, 0.32}) {
+        for (double gpu_ub : {0.03, 0.06, 0.12}) {
+            core::DbaConfig dba;
+            dba.cpuUpperBound = cpu_ub;
+            dba.gpuUpperBound = gpu_ub;
+            const auto runs = bench::runPearlConfig(
+                suite, "sweep", cfg, dba, [] {
+                    return std::make_unique<core::StaticPolicy>(
+                        photonic::WlState::WL64);
+                });
+            const auto avg = metrics::average(runs, "avg");
+            t.addRow({TextTable::pct(cpu_ub, 0),
+                      TextTable::pct(gpu_ub, 0),
+                      TextTable::num(avg.throughputFlitsPerCycle, 3),
+                      TextTable::num(avg.avgLatencyCycles, 0),
+                      std::to_string(avg.cpuPackets),
+                      std::to_string(avg.gpuPackets)});
+        }
+    }
+    bench::emit(t);
+    std::cout << "\n(The paper's operating point is cpuUB=16%, "
+                 "gpuUB=6%.)\n";
+    return 0;
+}

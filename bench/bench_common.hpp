@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper.  Run
+ * lengths and pair counts are environment-tunable so a quick smoke run
+ * is possible:
+ *   PEARL_BENCH_CYCLES   measurement cycles per run   (default 60000)
+ *   PEARL_BENCH_WARMUP   warmup cycles per run        (default 10000)
+ *   PEARL_BENCH_PAIRS    test pairs to use, 0 = all   (default 0)
+ *   PEARL_BENCH_TRAIN    training cycles per pair     (default 30000)
+ *   PEARL_BENCH_TRAIN_PAIRS  training pairs, 0 = all  (default 0)
+ *   PEARL_BENCH_CSV      also print CSV               (default 0)
+ *
+ * Trained ridge models are cached as pearl_ml_rw<RW>.model in the
+ * working directory so the figure benches that share a model do not
+ * retrain.
+ */
+
+#ifndef PEARL_BENCH_COMMON_HPP
+#define PEARL_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "metrics/experiment.hpp"
+#include "ml/pipeline.hpp"
+#include "ml/policy.hpp"
+#include "traffic/suite.hpp"
+
+namespace pearl {
+namespace bench {
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? static_cast<std::uint64_t>(std::atoll(v)) : fallback;
+}
+
+/** Common run options from the environment. */
+inline metrics::RunOptions
+runOptions()
+{
+    metrics::RunOptions opts;
+    opts.measureCycles = envU64("PEARL_BENCH_CYCLES", 60000);
+    opts.warmupCycles = envU64("PEARL_BENCH_WARMUP", 10000);
+    return opts;
+}
+
+/** The benchmark pairs a figure aggregates over. */
+inline std::vector<traffic::BenchmarkPair>
+testPairs(const traffic::BenchmarkSuite &suite)
+{
+    auto pairs = suite.testPairs();
+    const auto limit = envU64("PEARL_BENCH_PAIRS", 0);
+    if (limit > 0 && pairs.size() > limit)
+        pairs.resize(limit);
+    return pairs;
+}
+
+/** Emit the table, optionally with a CSV copy. */
+inline void
+emit(const TextTable &table)
+{
+    table.print(std::cout);
+    if (envU64("PEARL_BENCH_CSV", 0)) {
+        std::cout << "\n--- csv ---\n";
+        table.printCsv(std::cout);
+    }
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "== PEARL reproduction: " << what << " ==\n"
+              << "   (paper reference: " << paper_ref << ")\n\n";
+}
+
+/**
+ * Train (or load from cache) the ridge model for a reservation window.
+ * The pipeline mirrors Section IV-A: random-state first pass, optional
+ * policy-driven second pass, lambda tuned on the validation pairs.
+ */
+inline ml::PipelineResult
+trainedModel(const traffic::BenchmarkSuite &suite, std::uint64_t rw,
+             bool verbose = true)
+{
+    const std::string path =
+        "pearl_ml_rw" + std::to_string(rw) + ".model";
+
+    ml::PipelineConfig cfg;
+    cfg.reservationWindow = rw;
+    cfg.simCycles = envU64("PEARL_BENCH_TRAIN", 30000);
+    cfg.maxTrainPairs =
+        static_cast<int>(envU64("PEARL_BENCH_TRAIN_PAIRS", 0));
+    cfg.secondPass = true;
+
+    ml::PipelineResult result;
+    {
+        std::ifstream in(path);
+        if (in && result.model.load(in)) {
+            if (verbose) {
+                std::cout << "[ml] loaded cached model " << path
+                          << " (lambda " << result.model.lambda()
+                          << ")\n";
+            }
+            result.bestLambda = result.model.lambda();
+            return result;
+        }
+    }
+
+    if (verbose) {
+        std::cout << "[ml] training ridge model for RW" << rw
+                  << " (cache miss; this runs the 36-pair pipeline)\n";
+    }
+    ml::TrainingPipeline pipeline(suite, cfg);
+    result = pipeline.run();
+    std::ofstream out(path);
+    result.model.save(out);
+    if (verbose) {
+        std::cout << "[ml] trained: lambda " << result.bestLambda
+                  << ", validation NRMSE "
+                  << TextTable::num(result.validationNrmse, 3) << ", "
+                  << result.trainSamples << " samples -> cached to "
+                  << path << "\n";
+    }
+    return result;
+}
+
+/** Run a PEARL configuration over all test pairs and return per-pair
+ *  metrics plus the average row. */
+template <typename MakePolicy>
+std::vector<metrics::RunMetrics>
+runPearlConfig(const traffic::BenchmarkSuite &suite,
+               const std::string &name, const core::PearlConfig &net_cfg,
+               const core::DbaConfig &dba, MakePolicy &&make_policy)
+{
+    const auto opts = runOptions();
+    std::vector<metrics::RunMetrics> runs;
+    std::uint64_t seed = 100;
+    for (const auto &pair : testPairs(suite)) {
+        auto policy = make_policy();
+        metrics::RunOptions o = opts;
+        o.seed = ++seed;
+        runs.push_back(
+            metrics::runPearl(pair, net_cfg, dba, *policy, o, name));
+    }
+    return runs;
+}
+
+} // namespace bench
+} // namespace pearl
+
+#endif // PEARL_BENCH_COMMON_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Figure 10: throughput of ML power scaling across
+ * reservation-window sizes (100, 500, 1000, 2000 cycles).
+ *
+ * Expected shape (paper): the best throughput comes with RW2000 (which
+ * predicts the top state most accurately); shorter windows trade
+ * throughput for power savings.
+ */
+
+#include "bench_powerscale.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Figure 10 — ML power scaling vs reservation window",
+                  "Figure 10, Section IV-C");
+
+    traffic::BenchmarkSuite suite;
+    core::DbaConfig dba;
+
+    // Baseline for normalisation.
+    core::PearlConfig base_cfg;
+    const auto baseline = bench::finish(
+        "64WL", bench::runPearlConfig(suite, "64WL", base_cfg, dba, [] {
+            return std::make_unique<core::StaticPolicy>(
+                photonic::WlState::WL64);
+        }));
+
+    TextTable t({"config", "thru (flits/cyc)", "vs 64WL",
+                 "laser power (W)", "savings"});
+    t.addRow({"64WL baseline",
+              TextTable::num(baseline.avg.throughputFlitsPerCycle, 3),
+              "-", TextTable::num(baseline.avg.laserPowerW, 3), "-"});
+
+    for (std::uint64_t rw : {100ULL, 500ULL, 1000ULL, 2000ULL}) {
+        const auto model = bench::trainedModel(suite, rw);
+        core::PearlConfig cfg;
+        cfg.reservationWindow = rw;
+        ml::MlPolicyConfig pol;
+        const auto result = bench::finish(
+            "ML RW" + std::to_string(rw),
+            bench::runPearlConfig(suite, "ML", cfg, dba, [&model, pol] {
+                return std::make_unique<ml::MlPowerPolicy>(&model.model,
+                                                           pol);
+            }));
+        t.addRow({result.name,
+                  TextTable::num(result.avg.throughputFlitsPerCycle, 3),
+                  TextTable::pct(result.avg.throughputFlitsPerCycle /
+                                     baseline.avg
+                                         .throughputFlitsPerCycle -
+                                 1.0),
+                  TextTable::num(result.avg.laserPowerW, 3),
+                  TextTable::pct(1.0 - result.avg.laserPowerW /
+                                           baseline.avg.laserPowerW)});
+    }
+    bench::emit(t);
+    return 0;
+}

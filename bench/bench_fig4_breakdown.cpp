@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Figure 4: the CPU vs GPU packet-percentage breakdown for
+ * every test benchmark pair, measured on PEARL-Dyn at 64 wavelengths.
+ *
+ * Expected shape: CPU benchmarks create more packets overall (the paper
+ * notes this explicitly) but the split varies by pair, and the DBA keeps
+ * both classes flowing.
+ */
+
+#include "bench_common.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Figure 4 — CPU-GPU packet breakdown per traffic pair",
+                  "Figure 4, Section IV-A");
+
+    traffic::BenchmarkSuite suite;
+    core::PearlConfig cfg;
+    core::DbaConfig dba;
+
+    const auto runs = bench::runPearlConfig(
+        suite, "PEARL-Dyn", cfg, dba, [] {
+            return std::make_unique<core::StaticPolicy>(
+                photonic::WlState::WL64);
+        });
+
+    TextTable t({"pair", "CPU pkts", "GPU pkts", "CPU %", "GPU %"});
+    double cpu_sum = 0.0;
+    for (const auto &m : runs) {
+        const double total =
+            static_cast<double>(m.cpuPackets + m.gpuPackets);
+        const double cpu_pct =
+            total > 0 ? static_cast<double>(m.cpuPackets) / total : 0.0;
+        cpu_sum += cpu_pct;
+        t.addRow({m.pairLabel, std::to_string(m.cpuPackets),
+                  std::to_string(m.gpuPackets), TextTable::pct(cpu_pct),
+                  TextTable::pct(1.0 - cpu_pct)});
+    }
+    t.addRow({"average", "", "",
+              TextTable::pct(cpu_sum / static_cast<double>(runs.size())),
+              TextTable::pct(1.0 -
+                             cpu_sum / static_cast<double>(runs.size()))});
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Regenerates Figure 5: energy per bit of PEARL-Dyn vs PEARL-FCFS vs
+ * the electrical CMESH at static 64/32/16-wavelength configurations
+ * (CMESH bandwidth reduced proportionally).
+ *
+ * Expected shape (paper): PEARL-Dyn needs less energy per bit than
+ * PEARL-FCFS at constrained bandwidth, and is roughly an order of
+ * magnitude below CMESH at every width.
+ */
+
+#include "bench_common.hpp"
+
+using namespace pearl;
+
+namespace {
+
+metrics::RunMetrics
+averageOf(const std::vector<metrics::RunMetrics> &runs)
+{
+    return metrics::average(runs, "avg(16 pairs)");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 5 — Energy per bit vs static bandwidth",
+                  "Figure 5, Section IV-C (first comparison)");
+
+    traffic::BenchmarkSuite suite;
+    const auto opts = bench::runOptions();
+
+    struct Row
+    {
+        std::string name;
+        metrics::RunMetrics avg;
+    };
+    std::vector<Row> rows;
+
+    const photonic::WlState states[] = {photonic::WlState::WL64,
+                                        photonic::WlState::WL32,
+                                        photonic::WlState::WL16};
+    const int cmesh_slowdown[] = {1, 2, 4};
+
+    for (int i = 0; i < 3; ++i) {
+        const auto state = states[i];
+        const std::string suffix =
+            std::to_string(photonic::wavelengths(state)) + "WL";
+
+        core::PearlConfig net_cfg;
+        net_cfg.initialState = state;
+
+        core::DbaConfig dyn;
+        rows.push_back(
+            {"PEARL-Dyn " + suffix,
+             averageOf(bench::runPearlConfig(
+                 suite, "PEARL-Dyn " + suffix, net_cfg, dyn, [state] {
+                     return std::make_unique<core::StaticPolicy>(state);
+                 }))});
+
+        core::DbaConfig fcfs;
+        fcfs.mode = core::DbaConfig::Mode::Fcfs;
+        rows.push_back(
+            {"PEARL-FCFS " + suffix,
+             averageOf(bench::runPearlConfig(
+                 suite, "PEARL-FCFS " + suffix, net_cfg, fcfs, [state] {
+                     return std::make_unique<core::StaticPolicy>(state);
+                 }))});
+
+        electrical::CmeshConfig mesh;
+        mesh.linkCyclesPerFlit = cmesh_slowdown[i];
+        std::vector<metrics::RunMetrics> cmesh_runs;
+        std::uint64_t seed = 100;
+        for (const auto &pair : bench::testPairs(suite)) {
+            metrics::RunOptions o = opts;
+            o.seed = ++seed;
+            cmesh_runs.push_back(
+                metrics::runCmesh(pair, mesh, o, "CMESH " + suffix));
+        }
+        rows.push_back({"CMESH " + suffix, averageOf(cmesh_runs)});
+    }
+
+    TextTable t({"config", "energy/bit (pJ)", "thru (flits/cyc)",
+                 "thru (Gbps)", "avg lat (cyc)", "CPU lat", "GPU lat"});
+    for (const auto &row : rows) {
+        t.addRow({row.name, TextTable::num(row.avg.energyPerBitPj, 2),
+                  TextTable::num(row.avg.throughputFlitsPerCycle, 3),
+                  TextTable::num(row.avg.throughputGbps, 1),
+                  TextTable::num(row.avg.avgLatencyCycles, 0),
+                  TextTable::num(row.avg.cpuLatencyCycles, 0),
+                  TextTable::num(row.avg.gpuLatencyCycles, 0)});
+    }
+    bench::emit(t);
+
+    // Headline deltas in the paper's framing.
+    auto find = [&rows](const std::string &n) -> const metrics::RunMetrics & {
+        for (const auto &r : rows) {
+            if (r.name == n)
+                return r.avg;
+        }
+        fatal("missing row ", n);
+    };
+    std::cout << "\nHeadline comparisons (paper: Fig. 5 text):\n";
+    TextTable h({"comparison", "measured", "paper"});
+    const auto dyn32 = find("PEARL-Dyn 32WL");
+    const auto fcfs32 = find("PEARL-FCFS 32WL");
+    const auto cmesh32 = find("CMESH 32WL");
+    const auto dyn16 = find("PEARL-Dyn 16WL");
+    const auto cmesh16 = find("CMESH 16WL");
+    h.addRow({"Dyn vs FCFS energy/bit @32WL",
+              TextTable::pct(1.0 - dyn32.energyPerBitPj /
+                                       fcfs32.energyPerBitPj),
+              "19.7% lower"});
+    h.addRow({"Dyn vs FCFS CPU latency @32WL",
+              TextTable::pct(1.0 - dyn32.cpuLatencyCycles /
+                                       fcfs32.cpuLatencyCycles),
+              "(fairness: see examples/gpu_contention)"});
+    h.addRow({"Dyn vs CMESH energy/bit @32WL",
+              TextTable::pct(1.0 - dyn32.energyPerBitPj /
+                                       cmesh32.energyPerBitPj),
+              "91.9% lower"});
+    h.addRow({"Dyn vs CMESH energy/bit @16WL",
+              TextTable::pct(1.0 - dyn16.energyPerBitPj /
+                                       cmesh16.energyPerBitPj),
+              "88.8% lower"});
+    bench::emit(h);
+    return 0;
+}

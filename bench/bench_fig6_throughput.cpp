@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 6: throughput of the power-scaling architectures
+ * with the 8WL low state, relative to the 64WL baseline.
+ *
+ * Expected shape (paper): larger reservation windows preserve more
+ * throughput for the ML policy (ML RW2000 ~0.3% loss); throughput
+ * losses stay within 0-14% across all configurations.
+ */
+
+#include "bench_powerscale.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Figure 6 — Throughput of power-scaling architectures",
+                  "Figure 6, Section IV-C (second comparison)");
+
+    traffic::BenchmarkSuite suite;
+    const auto results = bench::runPowerScalingConfigs(suite);
+    const auto &base = bench::baselineOf(results);
+
+    TextTable t({"config", "thru (flits/cyc)", "vs 64WL",
+                 "paper loss"});
+    const char *paper_loss[] = {"baseline", "1.3%", "8%",
+                                "14%",      "14%",  "0.3%"};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        t.addRow({r.name,
+                  TextTable::num(r.avg.throughputFlitsPerCycle, 3),
+                  TextTable::pct(r.avg.throughputFlitsPerCycle /
+                                     base.throughputFlitsPerCycle -
+                                 1.0),
+                  i < 6 ? paper_loss[i] : ""});
+    }
+    bench::emit(t);
+
+    std::cout << "\nPer-pair throughput (flits/cycle):\n";
+    TextTable p({"pair", "64WL", "DynRW500", "DynRW2000", "MLRW500",
+                 "MLRW500no8", "MLRW2000"});
+    const std::size_t pairs = results.front().runs.size();
+    for (std::size_t i = 0; i < pairs; ++i) {
+        std::vector<std::string> row{
+            results.front().runs[i].pairLabel};
+        for (const auto &r : results) {
+            row.push_back(TextTable::num(
+                r.runs[i].throughputFlitsPerCycle, 3));
+        }
+        p.addRow(row);
+    }
+    bench::emit(p);
+    return 0;
+}

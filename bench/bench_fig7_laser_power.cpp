@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Figure 7: average laser power of the power-scaling
+ * architectures with the 8WL low state.
+ *
+ * Expected shape (paper): 40-65% laser-power savings relative to the
+ * 64WL baseline; the 8WL state deepens the ML RW500 savings
+ * (65.5% vs 60.7% without it); Dyn RW2000 saves ~55.8%, ML RW2000 ~42%.
+ */
+
+#include "bench_powerscale.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Figure 7 — Average laser power of power-scaling "
+                  "architectures",
+                  "Figure 7, Section IV-C");
+
+    traffic::BenchmarkSuite suite;
+    const auto results = bench::runPowerScalingConfigs(suite);
+    const auto &base = bench::baselineOf(results);
+
+    TextTable t({"config", "laser power (W)", "savings vs 64WL",
+                 "paper savings"});
+    const char *paper[] = {"baseline", "46%",   "55.8%",
+                           "65.5%",    "60.7%", "42%"};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        t.addRow({r.name, TextTable::num(r.avg.laserPowerW, 3),
+                  TextTable::pct(1.0 - r.avg.laserPowerW /
+                                           base.laserPowerW),
+                  i < 6 ? paper[i] : ""});
+    }
+    bench::emit(t);
+
+    std::cout << "\nPer-pair laser power (W):\n";
+    TextTable p({"pair", "64WL", "DynRW500", "DynRW2000", "MLRW500",
+                 "MLRW500no8", "MLRW2000"});
+    const std::size_t pairs = results.front().runs.size();
+    for (std::size_t i = 0; i < pairs; ++i) {
+        std::vector<std::string> row{results.front().runs[i].pairLabel};
+        for (const auto &r : results)
+            row.push_back(TextTable::num(r.runs[i].laserPowerW, 3));
+        p.addRow(row);
+    }
+    bench::emit(p);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Figure 8: the fraction of simulation time spent in each
+ * wavelength state under ML-based power scaling, for RW500 (a) and
+ * RW2000 (b).
+ *
+ * Expected shape (paper): a spread across all five states, with RW2000
+ * spending just under 30% of the time in the 64WL state (which is why
+ * its throughput loss is negligible).
+ */
+
+#include "bench_powerscale.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Figure 8 — Wavelength-state residency under ML power "
+                  "scaling",
+                  "Figure 8(a)/(b), Section IV-C");
+
+    traffic::BenchmarkSuite suite;
+    bench::PowerScaleSelection sel;
+    sel.baseline64 = false;
+    sel.dynRw500 = false;
+    sel.dynRw2000 = false;
+    sel.mlRw500No8 = false;
+    const auto results = bench::runPowerScalingConfigs(suite, sel);
+
+    for (const auto &r : results) {
+        std::cout << r.name << " (average over "
+                  << r.runs.size() << " test pairs):\n";
+        TextTable t({"state", "time share"});
+        for (int s = photonic::kNumWlStates - 1; s >= 0; --s) {
+            t.addRow({photonic::toString(photonic::stateFromIndex(s)),
+                      TextTable::pct(
+                          r.avg.residency[static_cast<std::size_t>(s)])});
+        }
+        bench::emit(t);
+        std::cout << "\n";
+    }
+
+    std::cout << "Per-pair residency (8/16/32/48/64):\n";
+    TextTable p({"pair", "config", "8WL", "16WL", "32WL", "48WL",
+                 "64WL"});
+    for (const auto &r : results) {
+        for (const auto &m : r.runs) {
+            p.addRow({m.pairLabel, r.name,
+                      TextTable::pct(m.residency[0]),
+                      TextTable::pct(m.residency[1]),
+                      TextTable::pct(m.residency[2]),
+                      TextTable::pct(m.residency[3]),
+                      TextTable::pct(m.residency[4])});
+        }
+    }
+    bench::emit(p);
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regenerates Figure 9: throughput of the RW500 power-scaling designs
+ * (without the 8WL state) against the PEARL-Dyn, PEARL-FCFS and CMESH
+ * baselines.
+ *
+ * Expected shape (paper): dynamic and ML power scaling beat CMESH by
+ * ~34% and ~20% respectively; Dyn RW500 roughly matches PEARL-FCFS and
+ * sits ~8% under PEARL-Dyn at constant 64 wavelengths.
+ */
+
+#include "bench_powerscale.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    bench::banner("Figure 9 — RW500 power scaling vs baseline "
+                  "architectures",
+                  "Figure 9, Section IV-C");
+
+    traffic::BenchmarkSuite suite;
+    const auto opts = bench::runOptions();
+    core::DbaConfig dba;
+
+    std::vector<bench::ConfigResult> results;
+
+    // PEARL-Dyn (64 WL).
+    {
+        core::PearlConfig cfg;
+        results.push_back(bench::finish(
+            "PEARL-Dyn (64WL)",
+            bench::runPearlConfig(suite, "PEARL-Dyn", cfg, dba, [] {
+                return std::make_unique<core::StaticPolicy>(
+                    photonic::WlState::WL64);
+            })));
+    }
+    // PEARL-FCFS (64 WL).
+    {
+        core::PearlConfig cfg;
+        core::DbaConfig fcfs;
+        fcfs.mode = core::DbaConfig::Mode::Fcfs;
+        results.push_back(bench::finish(
+            "PEARL-FCFS (64WL)",
+            bench::runPearlConfig(suite, "PEARL-FCFS", cfg, fcfs, [] {
+                return std::make_unique<core::StaticPolicy>(
+                    photonic::WlState::WL64);
+            })));
+    }
+    // Dyn RW500.
+    {
+        core::PearlConfig cfg;
+        cfg.reservationWindow = 500;
+        results.push_back(bench::finish(
+            "Dyn RW500",
+            bench::runPearlConfig(suite, "Dyn RW500", cfg, dba, [] {
+                return std::make_unique<core::ReactivePolicy>();
+            })));
+    }
+    // ML RW500 without the 8WL state (as plotted in Figure 9).
+    {
+        const auto model = bench::trainedModel(suite, 500);
+        core::PearlConfig cfg;
+        cfg.reservationWindow = 500;
+        ml::MlPolicyConfig pol;
+        pol.enable8Wl = false;
+        results.push_back(bench::finish(
+            "ML RW500 (no 8WL)",
+            bench::runPearlConfig(suite, "ML RW500", cfg, dba,
+                                  [&model, pol] {
+                                      return std::make_unique<
+                                          ml::MlPowerPolicy>(
+                                          &model.model, pol);
+                                  })));
+    }
+    // CMESH.
+    {
+        electrical::CmeshConfig mesh;
+        std::vector<metrics::RunMetrics> runs;
+        std::uint64_t seed = 100;
+        for (const auto &pair : bench::testPairs(suite)) {
+            metrics::RunOptions o = opts;
+            o.seed = ++seed;
+            runs.push_back(metrics::runCmesh(pair, mesh, o, "CMESH"));
+        }
+        results.push_back(bench::finish("CMESH", std::move(runs)));
+    }
+
+    const double cmesh_thru =
+        results.back().avg.throughputFlitsPerCycle;
+    TextTable t({"config", "thru (flits/cyc)", "vs CMESH",
+                 "paper vs CMESH"});
+    const char *paper[] = {"+34% (Dyn family)", "-", "+34%", "+20%",
+                           "baseline"};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        t.addRow({r.name,
+                  TextTable::num(r.avg.throughputFlitsPerCycle, 3),
+                  TextTable::pct(r.avg.throughputFlitsPerCycle /
+                                     cmesh_thru -
+                                 1.0),
+                  paper[i]});
+    }
+    bench::emit(t);
+
+    std::cout << "\nLatency view (cycles):\n";
+    TextTable l({"config", "avg latency"});
+    for (const auto &r : results)
+        l.addRow({r.name, TextTable::num(r.avg.avgLatencyCycles, 0)});
+    bench::emit(l);
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator kernels: how fast
+ * the models themselves run (useful when sizing longer experiments).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hpp"
+#include "cache/nmoesi.hpp"
+#include "core/network.hpp"
+#include "core/system.hpp"
+#include "electrical/cmesh.hpp"
+#include "ml/ridge.hpp"
+#include "photonic/power_model.hpp"
+#include "traffic/suite.hpp"
+
+using namespace pearl;
+
+namespace {
+
+void
+BM_PearlNetworkStep(benchmark::State &state)
+{
+    core::PearlConfig cfg;
+    photonic::PowerModel power;
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    core::PearlNetwork net(cfg, power, core::DbaConfig{}, &policy);
+    traffic::BenchmarkSuite suite;
+    traffic::BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};
+    core::HeteroSystem system(net, pair, core::SystemConfig{},
+                              [&net](int n) { return &net.telemetryOf(n); });
+    for (auto _ : state)
+        system.run(1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PearlNetworkStep);
+
+void
+BM_CmeshStep(benchmark::State &state)
+{
+    electrical::CmeshNetwork net;
+    traffic::BenchmarkSuite suite;
+    traffic::BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};
+    core::HeteroSystem system(net, pair, core::SystemConfig{});
+    for (auto _ : state)
+        system.run(1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CmeshStep);
+
+void
+BM_CacheArrayFind(benchmark::State &state)
+{
+    cache::CacheArray<> arr(8192, 16);
+    Rng rng(3);
+    for (int i = 0; i < 4096; ++i) {
+        const std::uint64_t addr = rng.below(16384);
+        auto &v = arr.victim(addr);
+        arr.install(v, addr, cache::CacheState::S);
+    }
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arr.find(addr));
+        addr = (addr * 2654435761u + 1) % 16384;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayFind);
+
+void
+BM_NmoesiProbe(benchmark::State &state)
+{
+    int i = 0;
+    for (auto _ : state) {
+        const auto s = static_cast<cache::CacheState>(i % 6);
+        benchmark::DoNotOptimize(
+            cache::applyProbe(s, cache::ProbeType::Invalidate));
+        ++i;
+    }
+}
+BENCHMARK(BM_NmoesiProbe);
+
+void
+BM_RidgeFit30Features(benchmark::State &state)
+{
+    Rng rng(7);
+    ml::Dataset data;
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<double> x(30);
+        for (auto &v : x)
+            v = rng.uniform();
+        data.add(std::move(x), rng.uniform() * 50.0);
+    }
+    for (auto _ : state) {
+        ml::RidgeRegression model;
+        model.fit(data, 1.0);
+        benchmark::DoNotOptimize(model.intercept());
+    }
+}
+BENCHMARK(BM_RidgeFit30Features);
+
+void
+BM_RidgePredict(benchmark::State &state)
+{
+    Rng rng(7);
+    ml::Dataset data;
+    for (int i = 0; i < 200; ++i) {
+        std::vector<double> x(30);
+        for (auto &v : x)
+            v = rng.uniform();
+        data.add(std::move(x), rng.uniform() * 50.0);
+    }
+    ml::RidgeRegression model;
+    model.fit(data, 1.0);
+    const std::vector<double> probe(30, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predict(probe));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RidgePredict);
+
+} // namespace
+
+BENCHMARK_MAIN();

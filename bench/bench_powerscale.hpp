@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared runner for the power-scaling comparison figures (6, 7, 8, 9):
+ * builds the paper's configuration set — the 64WL PEARL-Dyn baseline,
+ * reactive dynamic power scaling at RW500/RW2000, and ML power scaling
+ * at RW500 (with and without the 8WL state) and RW2000 — and runs each
+ * over the test pairs.
+ */
+
+#ifndef PEARL_BENCH_POWERSCALE_HPP
+#define PEARL_BENCH_POWERSCALE_HPP
+
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace pearl {
+namespace bench {
+
+/** One configuration's aggregated results. */
+struct ConfigResult
+{
+    std::string name;
+    std::vector<metrics::RunMetrics> runs;
+    metrics::RunMetrics avg;
+};
+
+/** Which configurations a figure needs. */
+struct PowerScaleSelection
+{
+    bool baseline64 = true;
+    bool dynRw500 = true;
+    bool dynRw2000 = true;
+    bool mlRw500 = true;
+    bool mlRw500No8 = true;
+    bool mlRw2000 = true;
+};
+
+inline ConfigResult
+finish(std::string name, std::vector<metrics::RunMetrics> runs)
+{
+    ConfigResult r;
+    r.avg = metrics::average(runs, "avg");
+    r.avg.configName = name;
+    r.name = std::move(name);
+    r.runs = std::move(runs);
+    return r;
+}
+
+/** Run the selected configurations (training/loading ML models as
+ *  needed) and return them in presentation order. */
+inline std::vector<ConfigResult>
+runPowerScalingConfigs(const traffic::BenchmarkSuite &suite,
+                       const PowerScaleSelection &sel = {})
+{
+    std::vector<ConfigResult> results;
+    core::DbaConfig dba;
+
+    if (sel.baseline64) {
+        core::PearlConfig cfg; // RW irrelevant for a static policy
+        results.push_back(finish(
+            "64WL (PEARL-Dyn)",
+            runPearlConfig(suite, "64WL", cfg, dba, [] {
+                return std::make_unique<core::StaticPolicy>(
+                    photonic::WlState::WL64);
+            })));
+    }
+
+    auto dyn = [&](std::uint64_t rw) {
+        core::PearlConfig cfg;
+        cfg.reservationWindow = rw;
+        results.push_back(finish(
+            "Dyn RW" + std::to_string(rw),
+            runPearlConfig(suite, "Dyn", cfg, dba, [] {
+                return std::make_unique<core::ReactivePolicy>();
+            })));
+    };
+    if (sel.dynRw500)
+        dyn(500);
+    if (sel.dynRw2000)
+        dyn(2000);
+
+    // ML configurations share one trained model per window size.
+    std::unique_ptr<ml::PipelineResult> model500, model2000;
+    auto modelFor = [&](std::uint64_t rw) -> const ml::RidgeRegression & {
+        auto &slot = rw == 500 ? model500 : model2000;
+        if (!slot) {
+            slot = std::make_unique<ml::PipelineResult>(
+                trainedModel(suite, rw));
+        }
+        return slot->model;
+    };
+
+    auto mlRun = [&](std::uint64_t rw, bool enable8, std::string name) {
+        const ml::RidgeRegression &model = modelFor(rw);
+        core::PearlConfig cfg;
+        cfg.reservationWindow = rw;
+        ml::MlPolicyConfig pol;
+        pol.enable8Wl = enable8;
+        results.push_back(finish(
+            name, runPearlConfig(suite, name, cfg, dba,
+                                 [&model, pol] {
+                                     return std::make_unique<
+                                         ml::MlPowerPolicy>(&model, pol);
+                                 })));
+    };
+    if (sel.mlRw500)
+        mlRun(500, true, "ML RW500");
+    if (sel.mlRw500No8)
+        mlRun(500, false, "ML RW500 no8WL");
+    if (sel.mlRw2000)
+        mlRun(2000, true, "ML RW2000");
+
+    return results;
+}
+
+/** The 64WL baseline average from a result set (first entry). */
+inline const metrics::RunMetrics &
+baselineOf(const std::vector<ConfigResult> &results)
+{
+    PEARL_ASSERT(!results.empty());
+    return results.front().avg;
+}
+
+} // namespace bench
+} // namespace pearl
+
+#endif // PEARL_BENCH_POWERSCALE_HPP

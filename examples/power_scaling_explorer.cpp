@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Power-performance trade-off explorer.
+ *
+ * Runs one benchmark pair under every wavelength-scaling policy the
+ * library provides — static states, the reactive scaler at several
+ * window sizes, and (optionally, given a cached model file) the ML
+ * scaler — and prints the laser-power / throughput frontier.
+ *
+ * Usage: power_scaling_explorer [cpu_abbrev gpu_abbrev [cycles]]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "metrics/experiment.hpp"
+#include "ml/policy.hpp"
+#include "ml/ridge.hpp"
+#include "traffic/suite.hpp"
+
+using namespace pearl;
+
+int
+main(int argc, char **argv)
+{
+    traffic::BenchmarkSuite suite;
+    const std::string cpu = argc > 2 ? argv[1] : "FA";
+    const std::string gpu = argc > 2 ? argv[2] : "Reduc";
+    traffic::BenchmarkPair pair{suite.find(cpu), suite.find(gpu)};
+
+    metrics::RunOptions opts;
+    opts.warmupCycles = 10000;
+    opts.measureCycles = argc > 3
+                             ? static_cast<sim::Cycle>(atoll(argv[3]))
+                             : 60000;
+    core::DbaConfig dba;
+
+    std::cout << "Power-performance frontier for " << pair.label()
+              << " (" << opts.measureCycles << " cycles)\n\n";
+
+    TextTable t({"policy", "laser (W)", "thru (flits/cyc)",
+                 "avg lat (cyc)", "time in 8/16/32/48/64 WL"});
+    auto addRow = [&t](const metrics::RunMetrics &m) {
+        std::string residency;
+        for (int s = 0; s < photonic::kNumWlStates; ++s) {
+            if (s)
+                residency += "/";
+            residency += TextTable::num(
+                m.residency[static_cast<std::size_t>(s)] * 100, 0);
+        }
+        t.addRow({m.configName, TextTable::num(m.laserPowerW, 3),
+                  TextTable::num(m.throughputFlitsPerCycle, 3),
+                  TextTable::num(m.avgLatencyCycles, 0), residency});
+    };
+
+    // Static states.
+    for (auto s : {photonic::WlState::WL64, photonic::WlState::WL32,
+                   photonic::WlState::WL16}) {
+        core::PearlConfig cfg;
+        cfg.initialState = s;
+        core::StaticPolicy policy(s);
+        addRow(metrics::runPearl(pair, cfg, dba, policy, opts,
+                                 std::string("static ") +
+                                     photonic::toString(s)));
+    }
+
+    // Reactive scaling across window sizes.
+    for (std::uint64_t rw : {250ULL, 500ULL, 1000ULL, 2000ULL}) {
+        core::PearlConfig cfg;
+        cfg.reservationWindow = rw;
+        core::ReactivePolicy policy;
+        addRow(metrics::runPearl(pair, cfg, dba, policy, opts,
+                                 "reactive RW" + std::to_string(rw)));
+    }
+
+    // ML scaling, if a trained model is available on disk.
+    ml::RidgeRegression model;
+    std::ifstream in("pearl_ml_rw500.model");
+    if (in && model.load(in)) {
+        core::PearlConfig cfg;
+        cfg.reservationWindow = 500;
+        ml::MlPowerPolicy policy(&model);
+        addRow(metrics::runPearl(pair, cfg, dba, policy, opts,
+                                 "ML RW500 (cached model)"));
+    } else {
+        std::cout << "(no pearl_ml_rw500.model in the working directory;"
+                     " run bench_fig6_throughput or the ml_workflow "
+                     "example to train one)\n\n";
+    }
+
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: run one CPU+GPU benchmark pair on the PEARL photonic
+ * crossbar and on the electrical CMESH baseline, and print throughput,
+ * latency and energy per bit.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "metrics/experiment.hpp"
+#include "traffic/suite.hpp"
+
+using namespace pearl;
+
+int
+main()
+{
+    traffic::BenchmarkSuite suite;
+    // Fluid Animate (CPU) running alongside DCT (GPU) — a Table IV pair.
+    traffic::BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};
+
+    metrics::RunOptions opts;
+    opts.warmupCycles = 2000;
+    opts.measureCycles = 20000;
+
+    // PEARL with dynamic bandwidth allocation at a constant 64
+    // wavelengths (PEARL-Dyn).
+    core::PearlConfig pearl_cfg;
+    core::DbaConfig dba;
+    core::StaticPolicy wl64(photonic::WlState::WL64);
+    const auto pearl =
+        metrics::runPearl(pair, pearl_cfg, dba, wl64, opts, "PEARL-Dyn");
+
+    // Electrical concentrated-mesh baseline.
+    electrical::CmeshConfig cmesh_cfg;
+    const auto cmesh = metrics::runCmesh(pair, cmesh_cfg, opts, "CMESH");
+
+    TextTable table({"config", "thru (flits/cyc)", "thru (Gbps)",
+                     "avg latency (cyc)", "energy/bit (pJ)",
+                     "pkts delivered"});
+    for (const auto &m : {pearl, cmesh}) {
+        table.addRow({m.configName, TextTable::num(m.throughputFlitsPerCycle),
+                      TextTable::num(m.throughputGbps, 1),
+                      TextTable::num(m.avgLatencyCycles, 1),
+                      TextTable::num(m.energyPerBitPj, 2),
+                      std::to_string(m.deliveredPackets)});
+    }
+    std::cout << "Benchmark pair: " << pair.label() << "\n\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Generic set-associative tag array with LRU replacement.
+ *
+ * The array stores NMOESI state plus caller-defined per-line metadata
+ * (L2 lines track which local L1s hold the line; L3 lines carry directory
+ * state).  Addresses are cache-line granular throughout the simulator, so
+ * the array indexes directly on line addresses.
+ */
+
+#ifndef PEARL_CACHE_CACHE_ARRAY_HPP
+#define PEARL_CACHE_CACHE_ARRAY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+#include "cache/nmoesi.hpp"
+
+namespace pearl {
+namespace cache {
+
+/** Empty metadata for caches that need none (L1s). */
+struct NoMeta
+{};
+
+/** A set-associative array of coherence lines. */
+template <typename Meta = NoMeta>
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        CacheState state = CacheState::I;
+        std::uint64_t lastUse = 0;
+        Meta meta{};
+    };
+
+    /**
+     * @param total_lines capacity in lines (must be divisible by ways).
+     * @param ways        associativity.
+     */
+    CacheArray(std::uint64_t total_lines, int ways)
+        : ways_(ways), numSets_(total_lines / static_cast<std::uint64_t>(ways))
+    {
+        PEARL_ASSERT(ways > 0);
+        PEARL_ASSERT(numSets_ > 0);
+        PEARL_ASSERT(numSets_ * static_cast<std::uint64_t>(ways) ==
+                     total_lines, "total_lines must be ways-divisible");
+        lines_.resize(total_lines);
+    }
+
+    std::uint64_t numSets() const { return numSets_; }
+    int ways() const { return ways_; }
+    std::uint64_t capacityLines() const { return lines_.size(); }
+
+    /** Find a valid line for `line_addr`; nullptr on miss. */
+    Line *
+    find(std::uint64_t line_addr)
+    {
+        const std::uint64_t set = line_addr % numSets_;
+        for (int w = 0; w < ways_; ++w) {
+            Line &line = lines_[set * ways_ + w];
+            if (isValid(line.state) && line.tag == line_addr)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    const Line *
+    find(std::uint64_t line_addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(line_addr);
+    }
+
+    /** Update the LRU stamp on a touch. */
+    void
+    touch(Line &line)
+    {
+        line.lastUse = ++useClock_;
+    }
+
+    /**
+     * Pick the victim way for `line_addr`: an invalid way if one exists,
+     * otherwise the LRU way.  The caller must handle the eviction of a
+     * valid victim (writeback, probes) before overwriting it.
+     */
+    Line &
+    victim(std::uint64_t line_addr)
+    {
+        const std::uint64_t set = line_addr % numSets_;
+        Line *lru = &lines_[set * ways_];
+        for (int w = 0; w < ways_; ++w) {
+            Line &line = lines_[set * ways_ + w];
+            if (!isValid(line.state))
+                return line;
+            if (line.lastUse < lru->lastUse)
+                lru = &line;
+        }
+        return *lru;
+    }
+
+    /**
+     * Like victim(), but avoids lines for which `busy(tag)` returns true
+     * (e.g. lines with an in-flight transaction).  Falls back to the
+     * plain LRU victim when every valid way is busy.
+     */
+    template <typename BusyPred>
+    Line &
+    victimWhere(std::uint64_t line_addr, BusyPred busy)
+    {
+        const std::uint64_t set = line_addr % numSets_;
+        Line *best = nullptr;
+        for (int w = 0; w < ways_; ++w) {
+            Line &line = lines_[set * ways_ + w];
+            if (!isValid(line.state))
+                return line;
+            if (busy(line.tag))
+                continue;
+            if (!best || line.lastUse < best->lastUse)
+                best = &line;
+        }
+        return best ? *best : victim(line_addr);
+    }
+
+    /**
+     * Install `line_addr` into `line` with `state`, resetting metadata and
+     * touching LRU.  `line` must come from victim() for the same address.
+     */
+    void
+    install(Line &line, std::uint64_t line_addr, CacheState state)
+    {
+        line.tag = line_addr;
+        line.state = state;
+        line.meta = Meta{};
+        touch(line);
+    }
+
+    /** Invalidate every line (between benchmark phases). */
+    void
+    reset()
+    {
+        for (auto &line : lines_)
+            line = Line{};
+        useClock_ = 0;
+    }
+
+    /** Count valid lines (tests / occupancy introspection). */
+    std::uint64_t
+    validLines() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &line : lines_) {
+            if (isValid(line.state))
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    int ways_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace cache
+} // namespace pearl
+
+#endif // PEARL_CACHE_CACHE_ARRAY_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cache-hierarchy configuration (Table I of the paper).
+ *
+ * Sizes are given in 64-byte lines.  L1s are modelled write-through /
+ * no-write-allocate (all stores visit the L2, which owns coherence); the
+ * L2s are write-back NMOESI caches, and the shared L3 adds a full-map
+ * directory over the 16 clusters.  DESIGN.md documents these modelling
+ * choices.
+ */
+
+#ifndef PEARL_CACHE_CONFIG_HPP
+#define PEARL_CACHE_CONFIG_HPP
+
+#include <cstdint>
+
+namespace pearl {
+namespace cache {
+
+/** Full hierarchy configuration with Table I defaults. */
+struct HierarchyConfig
+{
+    // Cluster composition -------------------------------------------------
+    int cpuCoresPerCluster = 2;
+    int gpuCusPerCluster = 4;
+
+    // L1 (per core / CU), 64 B lines --------------------------------------
+    std::uint64_t cpuL1ILines = 512;  //!< 32 kB
+    std::uint64_t cpuL1DLines = 1024; //!< 64 kB
+    std::uint64_t gpuL1Lines = 1024;  //!< 64 kB
+    int l1Ways = 8;
+
+    // L2 (per cluster, per core type) -------------------------------------
+    std::uint64_t cpuL2Lines = 4096;  //!< 256 kB
+    std::uint64_t gpuL2Lines = 8192;  //!< 512 kB
+    int l2Ways = 16;
+
+    // Shared L3 ------------------------------------------------------------
+    std::uint64_t l3Lines = 131072;   //!< 8 MB
+    int l3Ways = 16;
+
+    // Latencies in network cycles (2 GHz network clock) --------------------
+    std::uint64_t l1ToL2Cycles = 2;   //!< L1 miss to L2 access (local hop)
+    std::uint64_t l2AccessCycles = 4; //!< L2 array access
+    std::uint64_t l3AccessCycles = 8; //!< L3 array + directory access
+    std::uint64_t memoryCycles = 100; //!< main-memory round trip
+
+    // Miss-handling resources ----------------------------------------------
+    // Generous miss-handling resources keep the demand *inelastic*:
+    // cores keep issuing at their profile rates while the network
+    // backlogs, matching the paper's trace-driven semantics where the
+    // offered traffic does not depend on network speed.
+    int cpuL2MshrEntries = 32;
+    int gpuL2MshrEntries = 128;       //!< GPUs sustain many more misses
+    int cpuCoreMaxOutstanding = 48;
+    int gpuCoreMaxOutstanding = 96;
+};
+
+} // namespace cache
+} // namespace pearl
+
+#endif // PEARL_CACHE_CONFIG_HPP

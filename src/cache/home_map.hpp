@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Address-to-home mapping for the banked shared L3.
+ *
+ * The 8 MB L3 is split into 16 bank slices, one at each cluster router
+ * (Figure 1b shows an L3 slice per tile); cache lines are hashed across
+ * the banks (Fibonacci hashing breaks up the strided private regions).
+ * The 17th node hosts the two memory controllers.
+ */
+
+#ifndef PEARL_CACHE_HOME_MAP_HPP
+#define PEARL_CACHE_HOME_MAP_HPP
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace cache {
+
+/** Maps line addresses to their home L3 bank. */
+struct HomeMap
+{
+    int numBanks = 16;
+    sim::NodeId memoryNode = 16;
+
+    /** Home bank (== router/node id) of a line address. */
+    sim::NodeId
+    homeOf(std::uint64_t line_addr) const
+    {
+        return static_cast<sim::NodeId>(
+            (line_addr * 0x9E3779B97F4A7C15ULL >> 32) %
+            static_cast<std::uint64_t>(numBanks));
+    }
+};
+
+} // namespace cache
+} // namespace pearl
+
+#endif // PEARL_CACHE_HOME_MAP_HPP

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The NMOESI cache-coherence protocol state machine.
+ *
+ * NMOESI is MOESI extended with an N (non-coherent modified) state, as
+ * used by Multi2Sim — the simulator the paper collected its traffic from.
+ * N holds data modified outside the coherence domain: GPU compute units
+ * write private data in N without read-for-ownership traffic, and evicted
+ * N lines are written back like M lines.
+ *
+ * This header contains *pure* transition functions so the protocol can be
+ * unit- and property-tested in isolation from the timing model:
+ *  - classifyAccess:  what a local load/store needs in a given state;
+ *  - stateAfterHit:   the state after a hit is serviced;
+ *  - fillState:       the state a miss response installs;
+ *  - applyProbe:      reaction to a directory probe;
+ *  - writebackNeeded: whether eviction must push data down.
+ */
+
+#ifndef PEARL_CACHE_NMOESI_HPP
+#define PEARL_CACHE_NMOESI_HPP
+
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace cache {
+
+/** NMOESI line states. */
+enum class CacheState : std::uint8_t
+{
+    I = 0, //!< Invalid
+    S,     //!< Shared: clean, possibly other sharers
+    E,     //!< Exclusive: clean, only copy
+    O,     //!< Owned: dirty, other sharers may exist, owner supplies data
+    M,     //!< Modified: dirty, only copy
+    N      //!< Non-coherent modified: dirty, outside the coherence domain
+};
+
+inline const char *
+toString(CacheState s)
+{
+    switch (s) {
+      case CacheState::I: return "I";
+      case CacheState::S: return "S";
+      case CacheState::E: return "E";
+      case CacheState::O: return "O";
+      case CacheState::M: return "M";
+      case CacheState::N: return "N";
+      default: return "<invalid>";
+    }
+}
+
+/** Whether a line in `s` holds valid data. */
+inline bool
+isValid(CacheState s)
+{
+    return s != CacheState::I;
+}
+
+/** Whether a line in `s` holds dirty data that must be written back. */
+inline bool
+isDirty(CacheState s)
+{
+    return s == CacheState::M || s == CacheState::O || s == CacheState::N;
+}
+
+/** What a local access needs from the protocol. */
+enum class AccessOutcome : std::uint8_t
+{
+    Hit,           //!< serviced locally, no messages
+    Miss,          //!< needs a Read (load) from below
+    UpgradeNeeded  //!< store to S/O: needs ReadExcl, keeps data
+};
+
+/**
+ * Classify a local access against the current state.
+ *
+ * Stores hit in M, N and E (E upgrades silently to M); stores to S or O
+ * need an upgrade (ReadExcl) because other sharers may exist; loads hit in
+ * any valid state.
+ */
+inline AccessOutcome
+classifyAccess(CacheState s, bool write)
+{
+    if (s == CacheState::I)
+        return AccessOutcome::Miss;
+    if (!write)
+        return AccessOutcome::Hit;
+    switch (s) {
+      case CacheState::M:
+      case CacheState::N:
+      case CacheState::E:
+        return AccessOutcome::Hit;
+      case CacheState::S:
+      case CacheState::O:
+        return AccessOutcome::UpgradeNeeded;
+      default:
+        panic("classifyAccess on invalid state");
+    }
+}
+
+/** State after servicing a hit (silent E->M upgrade on store). */
+inline CacheState
+stateAfterHit(CacheState s, bool write)
+{
+    PEARL_ASSERT(classifyAccess(s, write) == AccessOutcome::Hit);
+    if (write && s == CacheState::E)
+        return CacheState::M;
+    return s;
+}
+
+/**
+ * State installed by a fill.
+ * @param write        the fill satisfies a store.
+ * @param exclusive    the directory granted an exclusive copy.
+ * @param non_coherent the requester operates outside the coherence domain
+ *                     (GPU private data -> N on store).
+ */
+inline CacheState
+fillState(bool write, bool exclusive, bool non_coherent)
+{
+    if (non_coherent && write)
+        return CacheState::N;
+    if (write) {
+        PEARL_ASSERT(exclusive, "store fill requires exclusivity");
+        return CacheState::M;
+    }
+    return exclusive ? CacheState::E : CacheState::S;
+}
+
+/** Directory probe kinds. */
+enum class ProbeType : std::uint8_t
+{
+    Share,     //!< another cluster wants to read
+    Invalidate //!< another cluster wants ownership
+};
+
+/** Result of applying a probe to a line. */
+struct ProbeOutcome
+{
+    CacheState next;  //!< state after the probe
+    bool supplyData;  //!< holder must send the line's data
+    bool dirtyData;   //!< the supplied data is dirty (memory is stale)
+};
+
+/**
+ * Apply a directory probe.
+ *
+ * Share probes demote M->O (the owner keeps supplying), E->S, and leave
+ * S/O unchanged; dirty states supply data.  Invalidate probes force I and
+ * dirty states supply data so ownership can transfer.  N lines are outside
+ * the coherence domain but must still honour invalidations (the directory
+ * reclaims the line when another cluster claims it); they flush their
+ * dirty data.
+ */
+inline ProbeOutcome
+applyProbe(CacheState s, ProbeType probe)
+{
+    if (probe == ProbeType::Share) {
+        switch (s) {
+          case CacheState::I:
+            return {CacheState::I, false, false};
+          case CacheState::S:
+            return {CacheState::S, false, false};
+          case CacheState::E:
+            return {CacheState::S, true, false};
+          case CacheState::O:
+            return {CacheState::O, true, true};
+          case CacheState::M:
+            return {CacheState::O, true, true};
+          case CacheState::N:
+            return {CacheState::N, true, true};
+          default:
+            panic("applyProbe on invalid state");
+        }
+    }
+    // Invalidate
+    const bool dirty = isDirty(s);
+    const bool valid = isValid(s);
+    return {CacheState::I, valid && dirty, dirty};
+}
+
+/** Whether evicting a line in `s` requires a data writeback. */
+inline bool
+writebackNeeded(CacheState s)
+{
+    return isDirty(s);
+}
+
+} // namespace cache
+} // namespace pearl
+
+#endif // PEARL_CACHE_NMOESI_HPP

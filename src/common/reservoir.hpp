@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reservoir sampling for streaming percentile estimates.
+ *
+ * Mean latency hides tail behaviour; p95/p99 packet latency is the
+ * metric latency-sensitive CPU traffic actually cares about.  The
+ * reservoir keeps a bounded uniform sample of an unbounded stream
+ * (Vitter's Algorithm R) and answers percentile queries from it.
+ */
+
+#ifndef PEARL_COMMON_RESERVOIR_HPP
+#define PEARL_COMMON_RESERVOIR_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace pearl {
+
+/** Bounded uniform sample of a stream with percentile queries. */
+class ReservoirSampler
+{
+  public:
+    /**
+     * @param capacity sample size (larger = tighter estimates).
+     * @param seed     RNG seed for the replacement draws.
+     */
+    explicit ReservoirSampler(std::size_t capacity = 4096,
+                              std::uint64_t seed = 0x5EED)
+        : capacity_(capacity), rng_(seed)
+    {
+        PEARL_ASSERT(capacity_ > 0);
+        sample_.reserve(capacity_);
+    }
+
+    /** Offer one value from the stream. */
+    void
+    add(double x)
+    {
+        ++seen_;
+        if (sample_.size() < capacity_) {
+            sample_.push_back(x);
+            return;
+        }
+        // Algorithm R: keep x with probability capacity/seen.
+        const std::uint64_t j = rng_.below(seen_);
+        if (j < capacity_)
+            sample_[static_cast<std::size_t>(j)] = x;
+    }
+
+    /** Values offered so far. */
+    std::uint64_t count() const { return seen_; }
+
+    /** Current sample size (== min(count, capacity)). */
+    std::size_t sampleSize() const { return sample_.size(); }
+
+    /**
+     * Estimate the q-quantile (q in [0,1]) from the sample; 0 when the
+     * stream is empty.
+     */
+    double
+    quantile(double q) const
+    {
+        PEARL_ASSERT(q >= 0.0 && q <= 1.0);
+        if (sample_.empty())
+            return 0.0;
+        std::vector<double> sorted = sample_;
+        std::sort(sorted.begin(), sorted.end());
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    }
+
+    double median() const { return quantile(0.5); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    void
+    reset()
+    {
+        sample_.clear();
+        seen_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    Rng rng_;
+    std::vector<double> sample_;
+    std::uint64_t seen_ = 0;
+};
+
+} // namespace pearl
+
+#endif // PEARL_COMMON_RESERVOIR_HPP

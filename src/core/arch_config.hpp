@@ -1,0 +1,107 @@
+/**
+ * @file
+ * PEARL architecture configuration (Tables I and II, Section III).
+ */
+
+#ifndef PEARL_CORE_ARCH_CONFIG_HPP
+#define PEARL_CORE_ARCH_CONFIG_HPP
+
+#include <cstdint>
+
+#include "photonic/thermal.hpp"
+#include "photonic/wl_state.hpp"
+
+namespace pearl {
+namespace core {
+
+/** Table I architecture specification (informational + derived clocks). */
+struct ArchSpec
+{
+    int cpuCores = 32;
+    int cpuThreadsPerCore = 4;
+    double cpuFreqGhz = 4.0;
+    int cpuL1InstrKb = 32;
+    int cpuL1DataKb = 64;
+    int cpuL2Kb = 256;
+
+    int gpuComputeUnits = 64;
+    double gpuFreqGhz = 2.0;
+    int gpuL1Kb = 64;
+    int gpuL2Kb = 512;
+
+    double networkFreqGhz = 2.0;
+    int l3CacheMb = 8;
+    int mainMemoryGb = 16;
+
+    /** Seconds per network cycle. */
+    double
+    networkCycleSeconds() const
+    {
+        return 1e-9 / networkFreqGhz;
+    }
+};
+
+/** Configuration of the PEARL photonic network model. */
+struct PearlConfig
+{
+    int numClusters = 16;
+    int l3Node = 16;              //!< node id of the L3 router
+
+    // Input buffering (slots are 128-bit flits, Section IV).
+    int cpuInjectSlots = 64;      //!< CPU-class injection buffer per router
+    int gpuInjectSlots = 64;      //!< GPU-class injection buffer per router
+    int rxSlotsPerClass = 64;     //!< receive-side buffer per class
+
+    // Link timing.
+    int reservationCycles = 2;    //!< R-SWMR reservation + ring tune
+    int linkLatencyCycles = 2;    //!< propagation + receive pipeline
+    int ejectFlitsPerCycle = 4;   //!< router-to-core ejection bandwidth
+
+    /**
+     * The L3 router aggregates the request/response traffic of all 16
+     * clusters, so its optical interface is a *group* of parallel data
+     * waveguides (the paper connects the split L3 + two memory
+     * controllers through their own optical crossbar).  Its transmit
+     * capacity, laser power and ring counts scale by this factor.
+     */
+    int l3WaveguideGroup = 16;
+
+    // Power scaling.
+    std::uint64_t reservationWindow = 500; //!< RW in network cycles
+    std::uint64_t laserTurnOnCycles = 4;   //!< 2 ns at 2 GHz
+    int windowOffsetPerRouter = 10;        //!< staggered RW boundaries
+
+    photonic::WlState initialState = photonic::WlState::WL64;
+
+    /** Seconds per network cycle (2 GHz network clock). */
+    double cycleSeconds = 0.5e-9;
+
+    // Ring counts per router for trimming power (64 modulators on the
+    // transmit waveguide, 64 detectors across the four receive sets).
+    int txRings = 64;
+    int rxRings = 64;
+
+    /**
+     * When true, the flat Table V trimming power is replaced by the
+     * thermal drift + heater feedback model: each router's ring bank
+     * tracks die temperature (ambient walk + switching activity) and
+     * spends heater power proportional to the trim gap.
+     */
+    bool useThermalModel = false;
+    photonic::ThermalConfig thermal;
+
+    // Electrical back-end static power of one PEARL router (crossbar,
+    // buffers, control), watts.
+    double routerStaticW = 0.15;
+
+    int
+    numNodes() const
+    {
+        return numClusters + 1;
+    }
+};
+
+} // namespace core
+} // namespace pearl
+
+#endif // PEARL_CORE_ARCH_CONFIG_HPP

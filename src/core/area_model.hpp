@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Area model (Table II): per-component silicon area of the PEARL chip,
+ * including the overheads of the dynamic allocation scheme and the ML
+ * power-scaling unit.
+ */
+
+#ifndef PEARL_CORE_AREA_MODEL_HPP
+#define PEARL_CORE_AREA_MODEL_HPP
+
+namespace pearl {
+namespace core {
+
+/** Component areas in mm^2 (Table II, per instance unless noted). */
+struct AreaModel
+{
+    double clusterMm2 = 25.0;          //!< CPUs + GPUs + L1s, per cluster
+    double l2PerClusterMm2 = 2.1;      //!< both L2s, per cluster
+    double opticalComponentsMm2 = 24.4; //!< MRRs + waveguides, whole chip
+    double l3Mm2 = 8.5;                //!< shared L3, whole chip
+    double routerMm2 = 0.342;          //!< per router
+    double laserPerRouterMm2 = 0.312;  //!< on-chip laser array, per router
+    double dynamicAllocationMm2 = 0.576; //!< DBA logic, whole chip
+    double machineLearningMm2 = 0.018; //!< ML unit, whole chip
+
+    double waveguideWidthUm = 5.28;
+    double mrrDiameterUm = 3.3;
+
+    /** Total chip area for `clusters` clusters and `routers` routers. */
+    double
+    totalMm2(int clusters = 16, int routers = 17) const
+    {
+        return clusterMm2 * clusters + l2PerClusterMm2 * clusters +
+               opticalComponentsMm2 + l3Mm2 + routerMm2 * routers +
+               laserPerRouterMm2 * routers + dynamicAllocationMm2 +
+               machineLearningMm2;
+    }
+
+    /** Area overhead fraction of the adaptive machinery (DBA + ML). */
+    double
+    adaptiveOverheadFraction(int clusters = 16, int routers = 17) const
+    {
+        return (dynamicAllocationMm2 + machineLearningMm2) /
+               totalMm2(clusters, routers);
+    }
+};
+
+} // namespace core
+} // namespace pearl
+
+#endif // PEARL_CORE_AREA_MODEL_HPP

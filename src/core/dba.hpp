@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Dynamic Bandwidth Allocator (Algorithm 1, steps 1-3).
+ *
+ * Every cycle, each router splits its optical link bandwidth between the
+ * CPU-class and GPU-class injection queues using only local buffer
+ * occupancy.  The paper's ladder assigns {0,25,50,75,100}% with CPU
+ * considered first for the 75% share (CPU latency sensitivity); the upper
+ * bounds beta_CPU = 16% and beta_GPU = 6% were found by offline search.
+ *
+ * A proportional-quantised mode generalises the allocation step for the
+ * ablation the paper mentions (steps of 6.25% / 12.5% / 25%).
+ */
+
+#ifndef PEARL_CORE_DBA_HPP
+#define PEARL_CORE_DBA_HPP
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace core {
+
+/** Bandwidth split produced by the allocator; shares sum to 1. */
+struct Allocation
+{
+    double cpuShare = 0.5;
+    double gpuShare = 0.5;
+};
+
+/** DBA configuration. */
+struct DbaConfig
+{
+    /** Allocation strategy. */
+    enum class Mode
+    {
+        PaperLadder,  //!< Algorithm 1 step 3 verbatim (25% steps)
+        Proportional, //!< occupancy-proportional, quantised to stepFraction
+        Fcfs          //!< no allocation: first-come first-served
+                      //!< (the PEARL-FCFS baseline)
+    };
+
+    Mode mode = Mode::PaperLadder;
+    double cpuUpperBound = 0.16; //!< beta_CPU-UpperBound (fraction)
+    double gpuUpperBound = 0.06; //!< beta_GPU-UpperBound (fraction)
+    double stepFraction = 0.25;  //!< quantisation step (Proportional mode)
+};
+
+/** Stateless allocator implementing Algorithm 1 steps 1-3. */
+class DynamicBandwidthAllocator
+{
+  public:
+    explicit DynamicBandwidthAllocator(const DbaConfig &cfg = DbaConfig{})
+        : cfg_(cfg)
+    {
+        PEARL_ASSERT(cfg_.stepFraction > 0.0 && cfg_.stepFraction <= 0.5);
+    }
+
+    /**
+     * Compute the split from per-class buffer occupancies in [0,1].
+     */
+    Allocation
+    allocate(double beta_cpu, double beta_gpu) const
+    {
+        if (cfg_.mode == DbaConfig::Mode::PaperLadder)
+            return ladder(beta_cpu, beta_gpu);
+        if (cfg_.mode == DbaConfig::Mode::Proportional)
+            return proportional(beta_cpu, beta_gpu);
+        // Fcfs: the router bypasses the allocator entirely; an even
+        // split is returned for callers that ask anyway.
+        return {0.5, 0.5};
+    }
+
+    const DbaConfig &config() const { return cfg_; }
+
+  private:
+    Allocation
+    ladder(double beta_cpu, double beta_gpu) const
+    {
+        // Algorithm 1 step 3, cases (a) through (e).
+        if (beta_gpu == 0.0 && beta_cpu > 0.0)
+            return {1.00, 0.00};
+        if (beta_cpu == 0.0 && beta_gpu > 0.0)
+            return {0.00, 1.00};
+        if (beta_gpu < cfg_.gpuUpperBound)
+            return {0.75, 0.25};
+        if (beta_cpu < cfg_.cpuUpperBound)
+            return {0.25, 0.75};
+        return {0.50, 0.50};
+    }
+
+    Allocation
+    proportional(double beta_cpu, double beta_gpu) const
+    {
+        if (beta_cpu == 0.0 && beta_gpu == 0.0)
+            return {0.5, 0.5};
+        const double raw = beta_cpu / (beta_cpu + beta_gpu);
+        const double step = cfg_.stepFraction;
+        double cpu = std::round(raw / step) * step;
+        cpu = std::min(1.0, std::max(0.0, cpu));
+        return {cpu, 1.0 - cpu};
+    }
+
+    DbaConfig cfg_;
+};
+
+} // namespace core
+} // namespace pearl
+
+#endif // PEARL_CORE_DBA_HPP

@@ -1,0 +1,161 @@
+#include "core/mwsr_network.hpp"
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace core {
+
+using sim::Cycle;
+using sim::Packet;
+
+MwsrNetwork::MwsrNetwork(const MwsrConfig &cfg,
+                         const photonic::PowerModel &power)
+    : cfg_(cfg), power_(power),
+      channels_(static_cast<std::size_t>(cfg.numNodes)),
+      voqs_(static_cast<std::size_t>(cfg.numNodes) *
+            static_cast<std::size_t>(cfg.numNodes))
+{
+    PEARL_ASSERT(cfg_.numNodes > 1);
+    // Stagger the initial token positions so the channels don't move in
+    // lockstep.
+    for (int d = 0; d < cfg_.numNodes; ++d)
+        channels_[static_cast<std::size_t>(d)].holder = d;
+}
+
+std::deque<Packet> &
+MwsrNetwork::voq(int src, int dst)
+{
+    return voqs_[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(cfg_.numNodes) +
+                 static_cast<std::size_t>(dst)];
+}
+
+const std::deque<Packet> &
+MwsrNetwork::voq(int src, int dst) const
+{
+    return const_cast<MwsrNetwork *>(this)->voq(src, dst);
+}
+
+bool
+MwsrNetwork::canInject(const Packet &pkt) const
+{
+    return static_cast<int>(voq(pkt.src, pkt.dst).size()) <
+           cfg_.voqDepthPackets;
+}
+
+bool
+MwsrNetwork::inject(const Packet &pkt)
+{
+    if (!canInject(pkt))
+        return false;
+    Packet copy = pkt;
+    copy.cycleInjected = cycle_;
+    voq(copy.src, copy.dst).push_back(copy);
+    stats_.noteInjected(copy);
+    flitsInFlight_ += static_cast<std::uint64_t>(copy.numFlits());
+    return true;
+}
+
+void
+MwsrNetwork::step()
+{
+    // 1. Land due arrivals.
+    while (!inFlight_.empty() && inFlight_.top().due <= cycle_) {
+        Packet pkt = inFlight_.top().pkt;
+        inFlight_.pop();
+        pkt.cycleDelivered = cycle_;
+        flitsInFlight_ -= static_cast<std::uint64_t>(pkt.numFlits());
+        stats_.noteDelivered(pkt);
+        delivered_.push_back(pkt);
+    }
+
+    // 2. Each destination channel: serialise, or move the token.
+    const int capacity = photonic::bitsPerCycle(cfg_.state);
+    for (int d = 0; d < cfg_.numNodes; ++d) {
+        Channel &ch = channels_[static_cast<std::size_t>(d)];
+
+        if (ch.transmitting) {
+            ch.creditBits += capacity;
+            auto &queue = voq(ch.holder, d);
+            PEARL_ASSERT(!queue.empty());
+            while (ch.creditBits >= sim::kFlitBits &&
+                   ch.flitsRemaining > 0) {
+                ch.creditBits -= sim::kFlitBits;
+                --ch.flitsRemaining;
+            }
+            if (ch.flitsRemaining == 0) {
+                Packet pkt = queue.front();
+                queue.pop_front();
+                inFlight_.push(InFlight{
+                    cycle_ +
+                        static_cast<Cycle>(cfg_.linkLatencyCycles),
+                    pkt});
+                ch.transmitting = false;
+                ch.creditBits = 0;
+                // The token moves on after a transmission (fairness).
+                ch.holder = (ch.holder + 1) % cfg_.numNodes;
+                ch.hopCountdown = cfg_.tokenHopCycles;
+            }
+            continue;
+        }
+
+        // Arbitration-wait accounting: traffic is pending for this
+        // destination but the channel is idle.
+        bool pending = false;
+        for (int s = 0; s < cfg_.numNodes && !pending; ++s)
+            pending = !voq(s, d).empty();
+        if (pending)
+            ++tokenWaitTotal_;
+
+        if (ch.hopCountdown > 0) {
+            --ch.hopCountdown;
+            continue;
+        }
+
+        auto &queue = voq(ch.holder, d);
+        if (!queue.empty()) {
+            ch.transmitting = true;
+            ch.flitsRemaining = queue.front().numFlits();
+            ch.creditBits = 0;
+            ch.grabStart = cycle_;
+            ++tokenGrabs_;
+        } else {
+            ch.holder = (ch.holder + 1) % cfg_.numNodes;
+            ch.hopCountdown = cfg_.tokenHopCycles;
+        }
+    }
+
+    ++cycle_;
+}
+
+bool
+MwsrNetwork::idle() const
+{
+    if (!inFlight_.empty())
+        return false;
+    for (const auto &queue : voqs_) {
+        if (!queue.empty())
+            return false;
+    }
+    return true;
+}
+
+double
+MwsrNetwork::laserEnergyJ() const
+{
+    // All destination channels are lit at the static state; the power
+    // model's per-state value is the network aggregate.
+    return power_.laserPowerW(cfg_.state) * static_cast<double>(cycle_) *
+           cfg_.cycleSeconds;
+}
+
+double
+MwsrNetwork::avgTokenWaitCycles() const
+{
+    return tokenGrabs_ ? static_cast<double>(tokenWaitTotal_) /
+                             static_cast<double>(tokenGrabs_)
+                       : 0.0;
+}
+
+} // namespace core
+} // namespace pearl

@@ -1,0 +1,239 @@
+#include "core/network.hpp"
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace core {
+
+using sim::Cycle;
+using sim::Packet;
+
+PearlNetwork::PearlNetwork(const PearlConfig &cfg,
+                           const photonic::PowerModel &power,
+                           const DbaConfig &dba, PowerPolicy *policy)
+    : cfg_(cfg),
+      // The paper's calibrated state powers are network-aggregate laser
+      // figures; they are split across the chip's waveguide units (one
+      // per cluster router + the MC node's waveguide group).
+      routerPower_(power.scaled(
+          1.0 / static_cast<double>(cfg.numClusters +
+                                    cfg.l3WaveguideGroup))),
+      policy_(policy)
+{
+    PEARL_ASSERT(policy_, "PearlNetwork requires a power policy");
+    l3Power_ = routerPower_.scaled(
+        static_cast<double>(cfg_.l3WaveguideGroup));
+    routers_.reserve(static_cast<std::size_t>(cfg_.numNodes()));
+    Rng thermal_rng(0xA11CE);
+    for (int r = 0; r < cfg_.numNodes(); ++r) {
+        const bool is_l3 = r == cfg_.l3Node;
+        routers_.push_back(std::make_unique<PearlRouter>(
+            r, cfg_, is_l3 ? l3Power_ : routerPower_, dba,
+            is_l3 ? cfg_.l3WaveguideGroup : 1));
+        if (cfg_.useThermalModel) {
+            const int rings =
+                cfg_.txRings * (is_l3 ? cfg_.l3WaveguideGroup : 1) +
+                cfg_.rxRings;
+            thermal_.emplace_back(cfg_.thermal, rings,
+                                  thermal_rng.fork());
+        }
+    }
+}
+
+bool
+PearlNetwork::canInject(const Packet &pkt) const
+{
+    return routers_[static_cast<std::size_t>(pkt.src)]->canAccept(pkt);
+}
+
+bool
+PearlNetwork::inject(const Packet &pkt)
+{
+    auto &router = *routers_[static_cast<std::size_t>(pkt.src)];
+    if (!router.inject(pkt, cycle_))
+        return false;
+    stats_.noteInjected(pkt);
+    return true;
+}
+
+bool
+PearlNetwork::isWindowBoundary(int router, Cycle now) const
+{
+    const std::uint64_t rw = cfg_.reservationWindow;
+    if (rw == 0)
+        return false;
+    const std::uint64_t offset =
+        (static_cast<std::uint64_t>(cfg_.windowOffsetPerRouter) *
+         static_cast<std::uint64_t>(router)) % rw;
+    return (now % rw) == offset && now > 0;
+}
+
+void
+PearlNetwork::step()
+{
+    // 1. Land due arrivals into receive buffers; full buffers retry.
+    std::vector<InFlight> retry;
+    while (!inFlight_.empty() && inFlight_.top().due <= cycle_) {
+        InFlight f = inFlight_.top();
+        inFlight_.pop();
+        auto &dst = *routers_[static_cast<std::size_t>(f.pkt.dst)];
+        if (!dst.rxEnqueue(f.pkt)) {
+            f.due = cycle_ + 1;
+            retry.push_back(std::move(f));
+        }
+    }
+    for (auto &f : retry)
+        inFlight_.push(std::move(f));
+
+    // 2. Transmit: serialise flits onto each router's waveguide.
+    std::vector<TxCompletion> done;
+    std::vector<int> bits_per_router(routers_.size(), 0);
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+        auto &router = routers_[r];
+        done.clear();
+        const int bits = router->transmitCycle(cycle_, done);
+        bits_per_router[r] = bits;
+        dynamicEnergyJ_ +=
+            static_cast<double>(bits) * routerPower_.dynamicEnergyPerBitJ();
+        for (auto &completion : done) {
+            inFlight_.push(InFlight{
+                cycle_ + static_cast<Cycle>(cfg_.linkLatencyCycles),
+                std::move(completion.pkt)});
+        }
+    }
+
+    // 3. Ejection to the local cores/caches.
+    for (auto &router : routers_) {
+        const std::size_t before = delivered_.size();
+        router->ejectCycle(cycle_, delivered_);
+        for (std::size_t i = before; i < delivered_.size(); ++i)
+            stats_.noteDelivered(delivered_[i]);
+    }
+
+    // 4. Occupancy telemetry and power integration.
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+        auto &router = routers_[r];
+        router->accumulateOccupancy();
+        router->laser().tick(cfg_.cycleSeconds);
+        if (cfg_.useThermalModel) {
+            // Switching activity (transceiver + laser share) heats the
+            // bank; the heater controller sets the trimming power.
+            const double activity_w =
+                bits_per_router[r] *
+                    routerPower_.dynamicEnergyPerBitJ() /
+                    cfg_.cycleSeconds +
+                routerPower_.laserPowerW(router->laser().state());
+            auto &bank = thermal_[r];
+            bank.step(activity_w, cfg_.cycleSeconds);
+            trimmingEnergyJ_ += bank.heaterPowerW() * cfg_.cycleSeconds;
+        } else {
+            trimmingEnergyJ_ +=
+                routerPower_.trimmingPowerW(
+                    router->laser().state(),
+                    cfg_.txRings * router->waveguides(), cfg_.rxRings) *
+                cfg_.cycleSeconds;
+        }
+    }
+
+    // 5. Reservation-window boundaries (staggered per router).
+    for (int r = 0; r < cfg_.numNodes(); ++r) {
+        if (!isWindowBoundary(r, cycle_))
+            continue;
+        auto &router = *routers_[static_cast<std::size_t>(r)];
+
+        WindowObservation obs;
+        obs.router = r;
+        obs.isL3Router = r == cfg_.l3Node;
+        obs.currentState = router.laser().state();
+        obs.betaTotalMean = router.betaTotalMean();
+        obs.telemetry = &router.telemetry();
+        obs.windowCycles = cfg_.reservationWindow;
+        obs.windowEnd = cycle_;
+
+        const photonic::WlState next = policy_->nextState(obs);
+
+        if (collector_) {
+            WindowRecord rec;
+            rec.router = r;
+            rec.windowEnd = cycle_;
+            rec.windowCycles = cfg_.reservationWindow;
+            rec.betaTotalMean = obs.betaTotalMean;
+            rec.stateDuringWindow = router.laser().state();
+            rec.stateChosen = next;
+            rec.telemetry = router.telemetry();
+            collector_(rec);
+        }
+
+        router.laser().requestState(next, cycle_);
+        router.resetWindow(next);
+    }
+
+    ++cycle_;
+}
+
+bool
+PearlNetwork::idle() const
+{
+    if (!inFlight_.empty())
+        return false;
+    for (const auto &router : routers_) {
+        if (!router->idle())
+            return false;
+    }
+    return true;
+}
+
+double
+PearlNetwork::laserEnergyJ() const
+{
+    double total = 0.0;
+    for (const auto &router : routers_)
+        total += router->laser().energyJ();
+    return total;
+}
+
+double
+PearlNetwork::staticEnergyJ() const
+{
+    return cfg_.routerStaticW * static_cast<double>(cfg_.numNodes()) *
+           static_cast<double>(cycle_) * cfg_.cycleSeconds;
+}
+
+double
+PearlNetwork::totalEnergyJ() const
+{
+    return laserEnergyJ() + trimmingEnergyJ() + dynamicEnergyJ() +
+           staticEnergyJ();
+}
+
+double
+PearlNetwork::averageLaserPowerW() const
+{
+    if (cycle_ == 0)
+        return 0.0;
+    return laserEnergyJ() /
+           (static_cast<double>(cycle_) * cfg_.cycleSeconds);
+}
+
+double
+PearlNetwork::thermalUnlockedFraction() const
+{
+    if (thermal_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &bank : thermal_)
+        total += bank.unlockedFraction();
+    return total / static_cast<double>(thermal_.size());
+}
+
+double
+PearlNetwork::residency(photonic::WlState s) const
+{
+    double total = 0.0;
+    for (const auto &router : routers_)
+        total += router->laser().residency(s);
+    return total / static_cast<double>(routers_.size());
+}
+
+} // namespace core
+} // namespace pearl

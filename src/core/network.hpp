@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The PEARL photonic crossbar network (Section III).
+ *
+ * Seventeen routers (16 clusters + L3) each own a single-writer
+ * multiple-reader data waveguide; there is no inter-router contention on
+ * the transmit side beyond the source's own serialisation, and receives
+ * land in per-class receive buffers drained at a finite ejection
+ * bandwidth.  Reservation-window boundaries (staggered 10 cycles per
+ * router, Section IV-A) invoke the installed PowerPolicy per router and
+ * hand the closing window's telemetry to an optional collector callback —
+ * that is the hook the ML training pipeline uses.
+ */
+
+#ifndef PEARL_CORE_NETWORK_HPP
+#define PEARL_CORE_NETWORK_HPP
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/power_policy.hpp"
+#include "core/router.hpp"
+#include "photonic/power_model.hpp"
+#include "photonic/thermal.hpp"
+#include "common/log.hpp"
+#include "sim/network.hpp"
+
+namespace pearl {
+namespace core {
+
+/** Data handed to the window collector when a router's window closes. */
+struct WindowRecord
+{
+    int router = 0;
+    sim::Cycle windowEnd = 0;
+    std::uint64_t windowCycles = 0;
+    double betaTotalMean = 0.0;
+    photonic::WlState stateDuringWindow = photonic::WlState::WL64;
+    photonic::WlState stateChosen = photonic::WlState::WL64;
+    sim::RouterTelemetry telemetry; //!< snapshot before the reset
+};
+
+/** Callback observing every closed reservation window. */
+using WindowCollector = std::function<void(const WindowRecord &)>;
+
+/** The PEARL network model. */
+class PearlNetwork : public sim::Network
+{
+  public:
+    /**
+     * @param cfg    network configuration.
+     * @param power  photonic power model with *network-aggregate* laser
+     *               state powers (scaled per router internally).
+     * @param dba    dynamic bandwidth allocator configuration.
+     * @param policy wavelength-state policy shared by all routers; must
+     *               outlive the network.
+     */
+    PearlNetwork(const PearlConfig &cfg,
+                 const photonic::PowerModel &power, const DbaConfig &dba,
+                 PowerPolicy *policy);
+
+    /** Install a collector for closed reservation windows (ML pipeline). */
+    void setWindowCollector(WindowCollector collector)
+    {
+        collector_ = std::move(collector);
+    }
+
+    // sim::Network --------------------------------------------------------
+    bool inject(const sim::Packet &pkt) override;
+    bool canInject(const sim::Packet &pkt) const override;
+    void step() override;
+    std::vector<sim::Packet> &delivered() override { return delivered_; }
+    sim::Cycle cycle() const override { return cycle_; }
+    int numNodes() const override { return cfg_.numNodes(); }
+    const sim::NetworkStats &stats() const override { return stats_; }
+    bool idle() const override;
+
+    // Energy / power --------------------------------------------------
+    double laserEnergyJ() const;
+    double trimmingEnergyJ() const { return trimmingEnergyJ_; }
+    double dynamicEnergyJ() const { return dynamicEnergyJ_; }
+    double staticEnergyJ() const;
+    double totalEnergyJ() const;
+
+    /** Network-wide average laser power in watts over the run. */
+    double averageLaserPowerW() const;
+
+    /** Fraction of router-cycles spent in `s` (Figure 8). */
+    double residency(photonic::WlState s) const;
+
+    /** Thermal bank of a router (only when useThermalModel). */
+    const photonic::ThermalRingBank &thermalBank(int node) const
+    {
+        PEARL_ASSERT(node < static_cast<int>(thermal_.size()));
+        return thermal_[static_cast<std::size_t>(node)];
+    }
+
+    /** Fraction of router-steps with rings out of thermal lock. */
+    double thermalUnlockedFraction() const;
+
+    // Introspection ---------------------------------------------------
+    PearlRouter &router(int node) { return *routers_[node]; }
+    const PearlRouter &router(int node) const { return *routers_[node]; }
+    sim::RouterTelemetry &telemetryOf(int node)
+    {
+        return routers_[node]->telemetry();
+    }
+    const PearlConfig &config() const { return cfg_; }
+    const photonic::PowerModel &routerPowerModel() const
+    {
+        return routerPower_;
+    }
+
+  private:
+    struct InFlight
+    {
+        sim::Cycle due;
+        sim::Packet pkt;
+
+        bool
+        operator>(const InFlight &o) const
+        {
+            return due > o.due;
+        }
+    };
+
+    bool isWindowBoundary(int router, sim::Cycle now) const;
+
+    PearlConfig cfg_;
+    photonic::PowerModel routerPower_; //!< per-router scaled model
+    photonic::PowerModel l3Power_;     //!< L3 router (waveguide group)
+    PowerPolicy *policy_;
+    WindowCollector collector_;
+    std::vector<std::unique_ptr<PearlRouter>> routers_;
+    std::priority_queue<InFlight, std::vector<InFlight>,
+                        std::greater<InFlight>>
+        inFlight_;
+    std::vector<sim::Packet> delivered_;
+    std::vector<photonic::ThermalRingBank> thermal_; //!< optional
+    sim::NetworkStats stats_;
+    sim::Cycle cycle_ = 0;
+    double trimmingEnergyJ_ = 0.0;
+    double dynamicEnergyJ_ = 0.0;
+};
+
+} // namespace core
+} // namespace pearl
+
+#endif // PEARL_CORE_NETWORK_HPP

@@ -1,0 +1,226 @@
+#include "core/router.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace core {
+
+using sim::CoreType;
+using sim::Cycle;
+using sim::Packet;
+
+PearlRouter::PearlRouter(int id, const PearlConfig &cfg,
+                         const photonic::PowerModel &power_model,
+                         const DbaConfig &dba_cfg, int waveguides)
+    : id_(id), cfg_(cfg), waveguides_(waveguides), dba_(dba_cfg),
+      inject_(cfg.cpuInjectSlots, cfg.gpuInjectSlots),
+      rx_(cfg.rxSlotsPerClass, cfg.rxSlotsPerClass),
+      laser_(power_model, cfg.laserTurnOnCycles, cfg.initialState)
+{
+    telemetry_.wavelengths = photonic::wavelengths(cfg.initialState);
+}
+
+bool
+PearlRouter::canAccept(const Packet &pkt) const
+{
+    return inject_.of(pkt.coreType()).canAccept(pkt.numFlits());
+}
+
+bool
+PearlRouter::inject(const Packet &pkt, Cycle now)
+{
+    Packet copy = pkt;
+    copy.cycleInjected = now;
+    if (!inject_.of(copy.coreType()).push(copy))
+        return false;
+    // Telemetry: the packet entered the router from the local cores or
+    // caches and is the quantity the ML model predicts (the label).
+    telemetry_.noteClass(copy.msgClass);
+    ++telemetry_.incomingFromCores;
+    ++telemetry_.packetsInjected;
+    if (copy.request())
+        ++telemetry_.requestsSent;
+    else
+        ++telemetry_.responsesSent;
+    return true;
+}
+
+void
+PearlRouter::accumulateOccupancy()
+{
+    telemetry_.cpuCoreBufOccupancy += inject_.occupancy(CoreType::CPU);
+    telemetry_.gpuCoreBufOccupancy += inject_.occupancy(CoreType::GPU);
+    telemetry_.otherRouterCpuBufOccupancy += rx_.occupancy(CoreType::CPU);
+    telemetry_.otherRouterGpuBufOccupancy += rx_.occupancy(CoreType::GPU);
+    betaWindowSum_ += inject_.totalOccupancy();
+    ++windowCycles_;
+}
+
+int
+PearlRouter::transmitClass(CoreType type, double share, int capacity_bits,
+                           std::vector<TxCompletion> &done)
+{
+    sim::FlitBuffer &buf = inject_.of(type);
+    TxChannel &ch = tx_[static_cast<int>(type)];
+
+    if (buf.empty()) {
+        // Nothing queued: credits don't bank across idle periods, and
+        // the next packet's reservation can no longer hide behind data.
+        ch.creditBits = 0;
+        ch.backToBack = false;
+        return 0;
+    }
+
+    if (!ch.active) {
+        // New head packet.  The reservation broadcast runs on its own
+        // waveguide, so it overlaps the previous packet's data: the
+        // overhead is only exposed when the channel comes out of idle.
+        ch.active = true;
+        ch.resRemaining = ch.backToBack ? 0 : cfg_.reservationCycles;
+        ch.flitsRemaining = buf.front().numFlits();
+        ch.creditBits = 0;
+    }
+
+    if (ch.resRemaining > 0) {
+        --ch.resRemaining;
+        return 0;
+    }
+
+    const long bits =
+        std::lround(share * static_cast<double>(capacity_bits));
+    ch.creditBits += bits;
+
+    int sent_bits = 0;
+    while (ch.creditBits >= sim::kFlitBits && ch.flitsRemaining > 0) {
+        ch.creditBits -= sim::kFlitBits;
+        --ch.flitsRemaining;
+        sent_bits += sim::kFlitBits;
+    }
+    if (ch.flitsRemaining == 0) {
+        done.push_back(TxCompletion{buf.pop()});
+        ch.active = false;
+        ch.creditBits = 0;
+        ch.backToBack = true;
+    }
+    return sent_bits;
+}
+
+int
+PearlRouter::transmitCycle(Cycle now, std::vector<TxCompletion> &done)
+{
+    if (!laser_.stable(now))
+        return 0; // lasers still stabilising after an upward switch
+
+    const int capacity =
+        photonic::bitsPerCycle(laser_.state()) * waveguides_;
+
+    int bits = 0;
+    if (dba_.config().mode == DbaConfig::Mode::Fcfs) {
+        // PEARL-FCFS baseline: no per-class allocation.  The whole link
+        // serves one packet at a time in arrival order, so a GPU burst
+        // can monopolise the channel — exactly the unfairness the DBA
+        // exists to prevent.
+        CoreType target;
+        if (tx_[0].active) {
+            target = CoreType::CPU;
+        } else if (tx_[1].active) {
+            target = CoreType::GPU;
+        } else {
+            const auto &cpu_buf = inject_.of(CoreType::CPU);
+            const auto &gpu_buf = inject_.of(CoreType::GPU);
+            if (cpu_buf.empty() && gpu_buf.empty())
+                return 0;
+            if (cpu_buf.empty()) {
+                target = CoreType::GPU;
+            } else if (gpu_buf.empty()) {
+                target = CoreType::CPU;
+            } else {
+                target = cpu_buf.front().cycleInjected <=
+                                 gpu_buf.front().cycleInjected
+                             ? CoreType::CPU
+                             : CoreType::GPU;
+            }
+        }
+        bits = transmitClass(target, 1.0, capacity, done);
+    } else {
+        const Allocation alloc =
+            dba_.allocate(inject_.occupancy(CoreType::CPU),
+                          inject_.occupancy(CoreType::GPU));
+        bits += transmitClass(CoreType::CPU, alloc.cpuShare, capacity,
+                              done);
+        bits += transmitClass(CoreType::GPU, alloc.gpuShare, capacity,
+                              done);
+    }
+    if (bits > 0)
+        ++telemetry_.linkBusyCycles;
+    return bits;
+}
+
+bool
+PearlRouter::rxEnqueue(const Packet &pkt)
+{
+    if (!rx_.of(pkt.coreType()).push(pkt))
+        return false;
+    telemetry_.noteClass(pkt.msgClass);
+    ++telemetry_.incomingFromRouters;
+    if (pkt.request())
+        ++telemetry_.requestsReceived;
+    else
+        ++telemetry_.responsesReceived;
+    return true;
+}
+
+void
+PearlRouter::ejectCycle(Cycle now, std::vector<Packet> &delivered)
+{
+    int budget = cfg_.ejectFlitsPerCycle;
+    // Round-robin between the class buffers so neither starves ejection.
+    for (int i = 0; i < sim::kNumCoreTypes && budget > 0; ++i) {
+        const int ci = (ejectRr_ + i) % sim::kNumCoreTypes;
+        const CoreType type = static_cast<CoreType>(ci);
+        sim::FlitBuffer &buf = rx_.of(type);
+        int &progress = ejectProgress_[ci];
+        while (budget > 0 && !buf.empty()) {
+            if (progress == 0)
+                progress = buf.front().numFlits();
+            const int take = std::min(budget, progress);
+            progress -= take;
+            budget -= take;
+            if (progress == 0) {
+                Packet pkt = buf.pop();
+                pkt.cycleDelivered = now;
+                ++telemetry_.packetsToCore;
+                delivered.push_back(pkt);
+            }
+        }
+    }
+    ejectRr_ = (ejectRr_ + 1) % sim::kNumCoreTypes;
+}
+
+double
+PearlRouter::betaTotalMean() const
+{
+    return windowCycles_
+               ? betaWindowSum_ / static_cast<double>(windowCycles_)
+               : 0.0;
+}
+
+void
+PearlRouter::resetWindow(photonic::WlState next_state)
+{
+    betaWindowSum_ = 0.0;
+    windowCycles_ = 0;
+    telemetry_.reset();
+    telemetry_.wavelengths = photonic::wavelengths(next_state);
+}
+
+bool
+PearlRouter::idle() const
+{
+    return inject_.empty() && rx_.empty();
+}
+
+} // namespace core
+} // namespace pearl

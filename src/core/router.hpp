@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The PEARL router microarchitecture (Figure 2).
+ *
+ * Each router owns:
+ *  - class-separated injection buffers (CPU / GPU) fed by the local cores
+ *    and caches;
+ *  - a single-writer data waveguide whose per-cycle bit capacity follows
+ *    the laser bank's wavelength state, split between the two classes by
+ *    the Dynamic Bandwidth Allocator every cycle;
+ *  - per-packet R-SWMR reservation overhead before the first flit;
+ *  - class-separated receive buffers (BW_D) drained to the local cores at
+ *    a finite ejection bandwidth;
+ *  - a laser bank with turn-on stabilisation and energy accounting;
+ *  - the telemetry block feeding the ML power scaler.
+ */
+
+#ifndef PEARL_CORE_ROUTER_HPP
+#define PEARL_CORE_ROUTER_HPP
+
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/dba.hpp"
+#include "photonic/laser.hpp"
+#include "sim/buffer.hpp"
+#include "sim/packet.hpp"
+#include "sim/telemetry.hpp"
+
+namespace pearl {
+namespace core {
+
+/** A packet that finished serialising onto the waveguide this cycle. */
+struct TxCompletion
+{
+    sim::Packet pkt;
+};
+
+/** One PEARL router. */
+class PearlRouter
+{
+  public:
+    /**
+     * @param id            router/node id.
+     * @param cfg           network configuration.
+     * @param power_model   per-router laser power model (already scaled
+     *                      for this router's waveguide count).
+     * @param dba_cfg       bandwidth allocator configuration.
+     * @param waveguides    parallel data waveguides (1 for clusters, the
+     *                      l3WaveguideGroup for the L3 router).
+     */
+    PearlRouter(int id, const PearlConfig &cfg,
+                const photonic::PowerModel &power_model,
+                const DbaConfig &dba_cfg, int waveguides = 1);
+
+    int id() const { return id_; }
+    int waveguides() const { return waveguides_; }
+
+    // Injection ---------------------------------------------------------
+    bool canAccept(const sim::Packet &pkt) const;
+    bool inject(const sim::Packet &pkt, sim::Cycle now);
+
+    // Per-cycle operation -------------------------------------------------
+    /**
+     * Run one transmit cycle: DBA split, reservation countdowns, credit
+     * accumulation, flit serialisation.  Completed packets are appended
+     * to `done`.
+     * @return bits transmitted this cycle (for energy accounting).
+     */
+    int transmitCycle(sim::Cycle now, std::vector<TxCompletion> &done);
+
+    /** Enqueue an arriving packet into the receive buffer.
+     *  @return false when the receive buffer is full (retry next cycle). */
+    bool rxEnqueue(const sim::Packet &pkt);
+
+    /** Drain receive buffers at the ejection bandwidth; fully ejected
+     *  packets are appended to `delivered` with delivery time `now`. */
+    void ejectCycle(sim::Cycle now, std::vector<sim::Packet> &delivered);
+
+    /** Accumulate the per-cycle occupancy telemetry (call once/cycle). */
+    void accumulateOccupancy();
+
+    // Power scaling -------------------------------------------------------
+    photonic::LaserBank &laser() { return laser_; }
+    const photonic::LaserBank &laser() const { return laser_; }
+    sim::RouterTelemetry &telemetry() { return telemetry_; }
+    const sim::RouterTelemetry &telemetry() const { return telemetry_; }
+
+    /** Mean Buf_omega (beta_CPU + beta_GPU) since the last window reset. */
+    double betaTotalMean() const;
+
+    /** Reset the window accumulators (at a reservation-window boundary). */
+    void resetWindow(photonic::WlState next_state);
+
+    // Introspection ---------------------------------------------------
+    const sim::DualClassBuffer &injectBuffers() const { return inject_; }
+    const sim::DualClassBuffer &rxBuffers() const { return rx_; }
+    bool idle() const;
+
+  private:
+    /** Serialisation state of one class channel. */
+    struct TxChannel
+    {
+        bool active = false;
+        bool backToBack = false; //!< reservation hidden behind prior data
+        int resRemaining = 0;
+        int flitsRemaining = 0;
+        long creditBits = 0;
+    };
+
+    int transmitClass(sim::CoreType type, double share, int capacity_bits,
+                      std::vector<TxCompletion> &done);
+
+    int id_;
+    PearlConfig cfg_;
+    int waveguides_;
+    DynamicBandwidthAllocator dba_;
+    sim::DualClassBuffer inject_;
+    sim::DualClassBuffer rx_;
+    TxChannel tx_[sim::kNumCoreTypes];
+    int ejectProgress_[sim::kNumCoreTypes] = {0, 0};
+    int ejectRr_ = 0;
+    photonic::LaserBank laser_;
+    sim::RouterTelemetry telemetry_;
+    double betaWindowSum_ = 0.0;
+    std::uint64_t windowCycles_ = 0;
+};
+
+} // namespace core
+} // namespace pearl
+
+#endif // PEARL_CORE_ROUTER_HPP

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The electrical CMESH baseline: a 4x4 concentrated mesh with XY routing,
+ * virtual-channel wormhole flow control and credit-based backpressure
+ * (Section IV: "4 VCs, 4 input buffers per VC, each buffer slot is 128
+ * bits").
+ *
+ * Endpoints 0-15 are the clusters, one per router; endpoint 16 is the L3,
+ * concentrated onto a centre router.  Requests travel in VCs {0,1} and
+ * responses in VCs {2,3}, which breaks request-response protocol deadlock;
+ * XY dimension order keeps routing deadlock-free.  The link width equals
+ * one flit per cycle, matching the PEARL crossbar's bisection bandwidth
+ * at the full 64-wavelength state (see DESIGN.md).
+ */
+
+#ifndef PEARL_ELECTRICAL_CMESH_HPP
+#define PEARL_ELECTRICAL_CMESH_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "electrical/energy.hpp"
+#include "sim/network.hpp"
+#include "sim/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace pearl {
+namespace electrical {
+
+/** Configuration of the CMESH baseline. */
+struct CmeshConfig
+{
+    int meshX = 4;
+    int meshY = 4;
+    int numVcs = 4;              //!< VCs per input port (2 req + 2 resp)
+    int vcDepthFlits = 4;        //!< buffer slots per VC
+    int l3Router = 5;            //!< mesh router hosting the MC endpoint
+    int injectionQueueDepth = 16; //!< packets queued per endpoint NI
+    int clusterLocalFlitsPerCycle = 2; //!< cluster ejection/injection width
+    int mcLocalFlitsPerCycle = 4;      //!< MC endpoint width (2 channels)
+    /** Cycles a flit occupies a mesh link: 1 for the full-width CMESH,
+     *  2 / 4 for the proportionally bandwidth-reduced variants compared
+     *  against the 32- and 16-wavelength photonic states (Figure 5). */
+    int linkCyclesPerFlit = 1;
+    ElectricalConstants energy;
+};
+
+/** A flit in flight; head flits carry the packet. */
+struct Flit
+{
+    std::shared_ptr<sim::Packet> pkt;
+    int seq = 0;
+    bool head = false;
+    bool tail = false;
+};
+
+/** The CMESH network model. */
+class CmeshNetwork : public sim::Network
+{
+  public:
+    explicit CmeshNetwork(const CmeshConfig &cfg = CmeshConfig{});
+
+    // sim::Network interface ------------------------------------------------
+    bool inject(const sim::Packet &pkt) override;
+    bool canInject(const sim::Packet &pkt) const override;
+    void step() override;
+    std::vector<sim::Packet> &delivered() override { return delivered_; }
+    sim::Cycle cycle() const override { return cycle_; }
+    int numNodes() const override { return numEndpoints_; }
+    const sim::NetworkStats &stats() const override { return stats_; }
+    bool idle() const override;
+
+    // Energy ---------------------------------------------------------------
+    /** Total dynamic energy spent so far, joules. */
+    double dynamicEnergyJ() const { return dynamicEnergyJ_; }
+
+    /** Static energy over the elapsed cycles, joules. */
+    double staticEnergyJ(double cycle_seconds) const;
+
+    /** Total network energy (static + dynamic), joules. */
+    double
+    totalEnergyJ(double cycle_seconds) const
+    {
+        return dynamicEnergyJ() + staticEnergyJ(cycle_seconds);
+    }
+
+    const CmeshConfig &config() const { return cfg_; }
+
+    /** Mesh router hosting an endpoint. */
+    int routerOf(sim::NodeId endpoint) const;
+
+    /** Flits per cycle an endpoint's local interface moves. */
+    int localWidth(sim::NodeId endpoint) const;
+
+  private:
+    struct InputVc
+    {
+        std::deque<Flit> fifo;
+        int outPort = -1;
+        int outVc = -1;
+        bool routed = false;
+    };
+
+    struct OutputVc
+    {
+        bool allocated = false;
+        int credits = 0;
+    };
+
+    struct OutputPort
+    {
+        std::vector<OutputVc> vcs;
+        std::optional<Flit> linkReg; //!< flit traversing the link
+        int linkVc = -1;             //!< downstream VC of linkReg
+        sim::Cycle linkReadyAt = 0;  //!< when linkReg reaches downstream
+        int rrPointer = 0;           //!< switch-allocation round robin
+    };
+
+    struct Router
+    {
+        // Ports 0..3: mesh N/E/S/W; 4..: local endpoint ports.
+        std::vector<std::vector<InputVc>> inputs; //!< [port][vc]
+        std::vector<OutputPort> outputs;
+        std::vector<sim::NodeId> localEndpoints;  //!< per local port
+        int vaPointer = 0;                        //!< VC-allocation RR
+    };
+
+    /** Per-endpoint network interface: packets waiting to become flits. */
+    struct NetworkInterface
+    {
+        std::deque<sim::Packet> queue;
+        int flitsSent = 0;  //!< of the head packet
+        int curVc = -1;     //!< VC carrying the head packet
+        std::shared_ptr<sim::Packet> pktShared; //!< head packet, shared
+    };
+
+    static constexpr int kPortN = 0;
+    static constexpr int kPortE = 1;
+    static constexpr int kPortS = 2;
+    static constexpr int kPortW = 3;
+
+    int routerX(int r) const { return r % cfg_.meshX; }
+    int routerY(int r) const { return r / cfg_.meshX; }
+    int neighbor(int router, int dir) const;
+    int oppositePort(int dir) const;
+    int computeRoute(int router, const sim::Packet &pkt) const;
+    bool isLocalPort(int router, int port) const;
+    int vcClassBase(const sim::Packet &pkt) const;
+
+    void deliverLinkFlits();
+    void injectFromInterfaces();
+    void routeAndAllocate(int router_id);
+    void switchAllocate(int router_id);
+    void ejectFlit(int router_id, int port, const Flit &flit);
+
+    CmeshConfig cfg_;
+    int numRouters_;
+    int numEndpoints_;
+    std::vector<Router> routers_;
+    std::vector<NetworkInterface> interfaces_;
+    std::vector<std::pair<int, int>> endpointPort_; //!< endpoint->(router,port)
+    std::vector<sim::Packet> delivered_;
+    sim::NetworkStats stats_;
+    sim::Cycle cycle_ = 0;
+    double dynamicEnergyJ_ = 0.0;
+    std::uint64_t flitsInFlight_ = 0;
+};
+
+} // namespace electrical
+} // namespace pearl
+
+#endif // PEARL_ELECTRICAL_CMESH_HPP

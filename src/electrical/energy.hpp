@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Electrical interconnect energy model (28 nm, 1.0 V — Section III-A2).
+ *
+ * The CMESH baseline's energy per bit is dominated by (a) static router
+ * power — clocking and leakage of wide-datapath concentrated routers —
+ * and (b) per-hop dynamic energy that grows with hop count, unlike the
+ * distance-independent photonic link.  Constants are calibrated to DSENT-
+ * class numbers for a 28 nm process; DESIGN.md records the calibration.
+ */
+
+#ifndef PEARL_ELECTRICAL_ENERGY_HPP
+#define PEARL_ELECTRICAL_ENERGY_HPP
+
+namespace pearl {
+namespace electrical {
+
+/** Energy/power constants for the electrical mesh. */
+struct ElectricalConstants
+{
+    /** Static power per mesh router (clock + leakage), watts. */
+    double routerStaticW = 0.30;
+
+    /** Buffer write + read energy, pJ per bit. */
+    double bufferPjPerBit = 0.08;
+
+    /** Crossbar traversal energy, pJ per bit. */
+    double crossbarPjPerBit = 0.05;
+
+    /** Arbitration energy, pJ per flit (VC + switch allocation). */
+    double arbitrationPjPerFlit = 1.0;
+
+    /** Link energy, pJ per bit per millimetre. */
+    double linkPjPerBitPerMm = 0.04;
+
+    /** Distance between adjacent routers, millimetres. */
+    double hopDistanceMm = 5.0;
+
+    /** Dynamic energy of one flit-hop through router + outgoing link. */
+    double
+    hopEnergyJ(int flit_bits) const
+    {
+        const double per_bit =
+            (bufferPjPerBit + crossbarPjPerBit +
+             linkPjPerBitPerMm * hopDistanceMm) * 1e-12;
+        return per_bit * flit_bits + arbitrationPjPerFlit * 1e-12;
+    }
+
+    /** Dynamic energy of local ejection (no link traversal). */
+    double
+    ejectEnergyJ(int flit_bits) const
+    {
+        const double per_bit = (bufferPjPerBit + crossbarPjPerBit) * 1e-12;
+        return per_bit * flit_bits;
+    }
+};
+
+} // namespace electrical
+} // namespace pearl
+
+#endif // PEARL_ELECTRICAL_ENERGY_HPP

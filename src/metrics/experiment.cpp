@@ -1,0 +1,163 @@
+#include "metrics/experiment.hpp"
+
+#include "common/log.hpp"
+#include "core/network.hpp"
+#include "photonic/power_model.hpp"
+
+namespace pearl {
+namespace metrics {
+
+using sim::Cycle;
+
+namespace {
+
+/** Counter snapshot for warmup exclusion. */
+struct Snapshot
+{
+    std::uint64_t packets = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t cpuPackets = 0;
+    std::uint64_t gpuPackets = 0;
+    double energyJ = 0.0;
+    double laserJ = 0.0;
+
+    static Snapshot
+    of(const sim::NetworkStats &s, double energy, double laser)
+    {
+        Snapshot snap;
+        snap.packets = s.deliveredPackets();
+        snap.flits = s.deliveredFlits();
+        snap.bits = s.deliveredBits();
+        snap.cpuPackets = s.cpuDeliveredPackets();
+        snap.gpuPackets = s.gpuDeliveredPackets();
+        snap.energyJ = energy;
+        snap.laserJ = laser;
+        return snap;
+    }
+};
+
+void
+fillCommon(RunMetrics &m, const sim::NetworkStats &stats,
+           const Snapshot &warm, Cycle measure_cycles,
+           double cycle_seconds, double total_energy)
+{
+    m.cycles = measure_cycles;
+    m.deliveredPackets = stats.deliveredPackets() - warm.packets;
+    m.deliveredFlits = stats.deliveredFlits() - warm.flits;
+    m.deliveredBits = stats.deliveredBits() - warm.bits;
+    m.cpuPackets = stats.cpuDeliveredPackets() - warm.cpuPackets;
+    m.gpuPackets = stats.gpuDeliveredPackets() - warm.gpuPackets;
+    m.throughputFlitsPerCycle =
+        measure_cycles ? static_cast<double>(m.deliveredFlits) /
+                             static_cast<double>(measure_cycles)
+                       : 0.0;
+    m.throughputGbps = measure_cycles
+                           ? static_cast<double>(m.deliveredBits) /
+                                 (measure_cycles * cycle_seconds) * 1e-9
+                           : 0.0;
+    m.avgLatencyCycles = stats.avgLatency();
+    m.cpuLatencyCycles = stats.avgLatency(sim::CoreType::CPU);
+    m.gpuLatencyCycles = stats.avgLatency(sim::CoreType::GPU);
+    m.totalEnergyJ = total_energy - warm.energyJ;
+    m.energyPerBitPj =
+        m.deliveredBits
+            ? m.totalEnergyJ / static_cast<double>(m.deliveredBits) * 1e12
+            : 0.0;
+}
+
+} // namespace
+
+RunMetrics
+runPearl(const traffic::BenchmarkPair &pair,
+         const core::PearlConfig &net_cfg, const core::DbaConfig &dba,
+         core::PowerPolicy &policy, const RunOptions &opts,
+         const std::string &config_name)
+{
+    const photonic::PowerModel power;
+    core::PearlNetwork net(net_cfg, power, dba, &policy);
+
+    core::SystemConfig sys = opts.system;
+    sys.seed = opts.seed;
+    core::HeteroSystem system(
+        net, pair, sys,
+        [&net](int node) { return &net.telemetryOf(node); });
+
+    system.run(opts.warmupCycles);
+    const Snapshot warm =
+        Snapshot::of(net.stats(), net.totalEnergyJ(), net.laserEnergyJ());
+
+    system.run(opts.measureCycles);
+
+    RunMetrics m;
+    m.configName = config_name;
+    m.pairLabel = pair.label();
+    fillCommon(m, net.stats(), warm, opts.measureCycles,
+               net_cfg.cycleSeconds, net.totalEnergyJ());
+    m.laserPowerW =
+        (net.laserEnergyJ() - warm.laserJ) /
+        (static_cast<double>(opts.measureCycles) * net_cfg.cycleSeconds);
+    for (int s = 0; s < photonic::kNumWlStates; ++s) {
+        m.residency[static_cast<std::size_t>(s)] =
+            net.residency(photonic::stateFromIndex(s));
+    }
+    return m;
+}
+
+RunMetrics
+runCmesh(const traffic::BenchmarkPair &pair,
+         const electrical::CmeshConfig &net_cfg, const RunOptions &opts,
+         const std::string &config_name)
+{
+    electrical::CmeshNetwork net(net_cfg);
+
+    core::SystemConfig sys = opts.system;
+    sys.seed = opts.seed;
+    core::HeteroSystem system(net, pair, sys);
+
+    const double dt = sys.arch.networkCycleSeconds();
+    system.run(opts.warmupCycles);
+    const Snapshot warm =
+        Snapshot::of(net.stats(), net.totalEnergyJ(dt), 0.0);
+
+    system.run(opts.measureCycles);
+
+    RunMetrics m;
+    m.configName = config_name;
+    m.pairLabel = pair.label();
+    fillCommon(m, net.stats(), warm, opts.measureCycles, dt,
+               net.totalEnergyJ(dt));
+    return m;
+}
+
+RunMetrics
+average(const std::vector<RunMetrics> &runs, const std::string &label)
+{
+    PEARL_ASSERT(!runs.empty());
+    RunMetrics avg;
+    avg.configName = runs.front().configName;
+    avg.pairLabel = label;
+    const double n = static_cast<double>(runs.size());
+    for (const RunMetrics &r : runs) {
+        avg.cycles += r.cycles;
+        avg.deliveredPackets += r.deliveredPackets;
+        avg.deliveredFlits += r.deliveredFlits;
+        avg.deliveredBits += r.deliveredBits;
+        avg.cpuPackets += r.cpuPackets;
+        avg.gpuPackets += r.gpuPackets;
+        avg.throughputFlitsPerCycle += r.throughputFlitsPerCycle / n;
+        avg.throughputGbps += r.throughputGbps / n;
+        avg.avgLatencyCycles += r.avgLatencyCycles / n;
+        avg.cpuLatencyCycles += r.cpuLatencyCycles / n;
+        avg.gpuLatencyCycles += r.gpuLatencyCycles / n;
+        avg.totalEnergyJ += r.totalEnergyJ;
+        avg.energyPerBitPj += r.energyPerBitPj / n;
+        avg.laserPowerW += r.laserPowerW / n;
+        for (std::size_t s = 0; s < avg.residency.size(); ++s)
+            avg.residency[s] += r.residency[s] / n;
+    }
+    return avg;
+}
+
+} // namespace metrics
+} // namespace pearl

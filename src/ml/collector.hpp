@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Turns the PEARL network's window-record stream into a labelled dataset.
+ *
+ * The features of window k are labelled with the packets injected during
+ * window k+1 of the *same* router (Section IV-A: the label is the
+ * injected-packet count of the window being predicted).
+ */
+
+#ifndef PEARL_ML_COLLECTOR_HPP
+#define PEARL_ML_COLLECTOR_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/network.hpp"
+#include "ml/features.hpp"
+#include "ml/ridge.hpp"
+
+namespace pearl {
+namespace ml {
+
+/** What the model is trained to predict. */
+enum class LabelKind
+{
+    InjectedPackets,  //!< the paper's choice (Section IV-A)
+    BufferUtilization //!< the rejected alternative (ablation)
+};
+
+/** Collects (features, next-window label) pairs per router. */
+class WindowDatasetCollector
+{
+  public:
+    /**
+     * @param num_routers routers being observed.
+     * @param l3_router   node id of the L3 router (feature 1).
+     * @param label       quantity used as the label.
+     */
+    WindowDatasetCollector(int num_routers, int l3_router,
+                           LabelKind label = LabelKind::InjectedPackets)
+        : l3Router_(l3_router), label_(label),
+          pending_(static_cast<std::size_t>(num_routers))
+    {}
+
+    /** Feed one closed window. */
+    void
+    observe(const core::WindowRecord &rec)
+    {
+        auto &slot = pending_[static_cast<std::size_t>(rec.router)];
+        if (slot) {
+            double label;
+            if (label_ == LabelKind::InjectedPackets) {
+                label =
+                    static_cast<double>(rec.telemetry.packetsInjected);
+            } else {
+                // Mean total input-buffer occupancy of the window; this
+                // is the label the paper rejects because it depends on
+                // the wavelength state itself.
+                const double w = rec.windowCycles
+                                     ? static_cast<double>(
+                                           rec.windowCycles)
+                                     : 1.0;
+                label = (rec.telemetry.cpuCoreBufOccupancy +
+                         rec.telemetry.gpuCoreBufOccupancy) / w;
+            }
+            data_.add(std::move(*slot), label);
+        }
+        slot = FeatureExtractor::extract(rec, rec.router == l3Router_);
+    }
+
+    /** A callback bound to this collector for PearlNetwork. */
+    core::WindowCollector
+    callback()
+    {
+        return [this](const core::WindowRecord &rec) { observe(rec); };
+    }
+
+    const Dataset &dataset() const { return data_; }
+    Dataset takeDataset() { return std::move(data_); }
+
+  private:
+    int l3Router_;
+    LabelKind label_;
+    std::vector<std::optional<std::vector<double>>> pending_;
+    Dataset data_;
+};
+
+} // namespace ml
+} // namespace pearl
+
+#endif // PEARL_ML_COLLECTOR_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hardware cost model of the online ML inference unit (Section IV-B).
+ *
+ * One prediction is a 30-feature dot product: 30 multiplies and 29 adds
+ * on 16-bit values.  Energy per operation follows Horowitz's ISSCC'14
+ * numbers (reference [49]); the paper reports 44.6 pJ per prediction,
+ * a 5 ns compute time (Synopsys DC estimate) and 178.4 uW of average
+ * power at a 500-cycle reservation window.
+ */
+
+#ifndef PEARL_ML_COST_MODEL_HPP
+#define PEARL_ML_COST_MODEL_HPP
+
+#include <cstdint>
+
+namespace pearl {
+namespace ml {
+
+/** Energy/latency model of the router-local inference unit. */
+struct MlCostModel
+{
+    int numFeatures = 30;
+
+    // 16-bit operation energies (Horowitz, ISSCC'14), joules.  These
+    // reproduce the paper's split: 132 uW for the multiplies and
+    // 46.4 uW for the adds at a 250 ns window.
+    double multiplyEnergyJ = 1.1e-12;
+    double addEnergyJ = 0.4e-12;
+
+    double computeTimeNs = 5.0; //!< Synopsys DC estimate
+
+    int multiplies() const { return numFeatures; }
+    int adds() const { return numFeatures - 1; }
+
+    /** Energy of one prediction, joules (~44.6 pJ for 30 features). */
+    double
+    inferenceEnergyJ() const
+    {
+        return multiplies() * multiplyEnergyJ + adds() * addEnergyJ;
+    }
+
+    /**
+     * Average power when predicting once per reservation window,
+     * in watts (~178 uW at RW = 500 cycles of 0.5 ns).
+     */
+    double
+    averagePowerW(std::uint64_t window_cycles,
+                  double cycle_seconds = 0.5e-9) const
+    {
+        const double window_s =
+            static_cast<double>(window_cycles) * cycle_seconds;
+        return window_s > 0.0 ? inferenceEnergyJ() / window_s : 0.0;
+    }
+
+    /** Power of the multiplier array alone (the paper's 132 uW). */
+    double
+    multiplierPowerW(std::uint64_t window_cycles,
+                     double cycle_seconds = 0.5e-9) const
+    {
+        const double window_s =
+            static_cast<double>(window_cycles) * cycle_seconds;
+        return window_s > 0.0
+                   ? multiplies() * multiplyEnergyJ / window_s
+                   : 0.0;
+    }
+};
+
+} // namespace ml
+} // namespace pearl
+
+#endif // PEARL_ML_COST_MODEL_HPP

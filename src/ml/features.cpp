@@ -1,0 +1,86 @@
+#include "ml/features.hpp"
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace ml {
+
+const std::array<std::string, kNumFeatures> &
+FeatureExtractor::names()
+{
+    static const std::array<std::string, kNumFeatures> kNames = {
+        "L3 router",
+        "CPU Core Input Buffer Utilization",
+        "Other Router CPU Input Buffer Utilization",
+        "GPU Core Input Buffer Utilization",
+        "Other Router GPU Input Buffer Utilization",
+        "Outgoing Link Utilization",
+        "Number of Packets Sent to a Core",
+        "Incoming Packets from Other Routers",
+        "Incoming Packets from the Cores",
+        "Request Sent",
+        "Request Received",
+        "Responses Sent",
+        "Responses Received",
+        "Request CPU L1 instruction",
+        "Request CPU L1 data",
+        "Request CPU L2 up",
+        "Request CPU L2 down",
+        "Request GPU L1",
+        "Request GPU L2 up",
+        "Request GPU L2 down",
+        "Request L3",
+        "Response CPU L1 instruction",
+        "Response CPU L1 data",
+        "Response CPU L2 up",
+        "Response CPU L2 down",
+        "Response GPU L1",
+        "Response GPU L2 up",
+        "Response GPU L2 down",
+        "Response L3",
+        "Number of Wavelengths",
+    };
+    return kNames;
+}
+
+std::vector<double>
+FeatureExtractor::extract(const core::WindowRecord &rec, bool is_l3_router)
+{
+    return extract(rec.telemetry, rec.windowCycles, is_l3_router);
+}
+
+std::vector<double>
+FeatureExtractor::extract(const sim::RouterTelemetry &t,
+                          std::uint64_t window_cycles, bool is_l3_router)
+{
+    const double w =
+        window_cycles ? static_cast<double>(window_cycles) : 1.0;
+
+    std::vector<double> x;
+    x.reserve(kNumFeatures);
+    x.push_back(is_l3_router ? 1.0 : 0.0);                        // 1
+    x.push_back(t.cpuCoreBufOccupancy / w);                       // 2
+    x.push_back(t.otherRouterCpuBufOccupancy / w);                // 3
+    x.push_back(t.gpuCoreBufOccupancy / w);                       // 4
+    x.push_back(t.otherRouterGpuBufOccupancy / w);                // 5
+    x.push_back(static_cast<double>(t.linkBusyCycles) / w);       // 6
+    x.push_back(static_cast<double>(t.packetsToCore));            // 7
+    x.push_back(static_cast<double>(t.incomingFromRouters));      // 8
+    x.push_back(static_cast<double>(t.incomingFromCores));        // 9
+    x.push_back(static_cast<double>(t.requestsSent));             // 10
+    x.push_back(static_cast<double>(t.requestsReceived));         // 11
+    x.push_back(static_cast<double>(t.responsesSent));            // 12
+    x.push_back(static_cast<double>(t.responsesReceived));        // 13
+
+    // Features 14-29: Table III orders requests then responses, with the
+    // class order matching sim::MsgClass exactly.
+    for (int c = 0; c < sim::kNumMsgClasses; ++c)
+        x.push_back(static_cast<double>(t.classCounts[c]));
+
+    x.push_back(static_cast<double>(t.wavelengths));              // 30
+    PEARL_ASSERT(static_cast<int>(x.size()) == kNumFeatures);
+    return x;
+}
+
+} // namespace ml
+} // namespace pearl

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The 30-feature extractor of Table III.
+ *
+ * One closed reservation window's RouterTelemetry becomes one feature
+ * vector; occupancy integrals are normalised to window-mean utilisations,
+ * count features stay raw (standardisation inside the ridge solver takes
+ * care of scale).  Feature order is fixed and matches Table III exactly —
+ * the tests pin it.
+ */
+
+#ifndef PEARL_ML_FEATURES_HPP
+#define PEARL_ML_FEATURES_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sim/telemetry.hpp"
+
+namespace pearl {
+namespace ml {
+
+/** Number of features (Table III). */
+constexpr int kNumFeatures = 30;
+
+/** Extracts Table III feature vectors from window records. */
+class FeatureExtractor
+{
+  public:
+    /** Feature names in order (Table III wording). */
+    static const std::array<std::string, kNumFeatures> &names();
+
+    /**
+     * Build the feature vector for one closed window.
+     * @param rec window record from the PEARL network collector.
+     * @param is_l3_router feature 1.
+     */
+    static std::vector<double> extract(const core::WindowRecord &rec,
+                                       bool is_l3_router);
+
+    /** Same, from raw telemetry (used by the online policy). */
+    static std::vector<double> extract(const sim::RouterTelemetry &t,
+                                       std::uint64_t window_cycles,
+                                       bool is_l3_router);
+};
+
+} // namespace ml
+} // namespace pearl
+
+#endif // PEARL_ML_FEATURES_HPP

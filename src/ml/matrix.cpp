@@ -1,0 +1,139 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+
+namespace pearl {
+namespace ml {
+
+Matrix
+Matrix::operator+(const Matrix &o) const
+{
+    PEARL_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + o.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &o) const
+{
+    PEARL_ASSERT(cols_ == o.rows_);
+    Matrix out(rows_, o.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < o.cols_; ++j)
+                out(i, j) += a * o(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::operator*(const std::vector<double> &v) const
+{
+    PEARL_ASSERT(cols_ == v.size());
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            acc += (*this)(i, j) * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    }
+    return out;
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix out(cols_, cols_);
+    for (std::size_t n = 0; n < rows_; ++n) {
+        for (std::size_t i = 0; i < cols_; ++i) {
+            const double xi = (*this)(n, i);
+            if (xi == 0.0)
+                continue;
+            for (std::size_t j = i; j < cols_; ++j)
+                out(i, j) += xi * (*this)(n, j);
+        }
+    }
+    // Mirror the upper triangle.
+    for (std::size_t i = 0; i < cols_; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            out(i, j) = out(j, i);
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::transposeTimes(const std::vector<double> &y) const
+{
+    PEARL_ASSERT(rows_ == y.size());
+    std::vector<double> out(cols_, 0.0);
+    for (std::size_t n = 0; n < rows_; ++n) {
+        const double yn = y[n];
+        if (yn == 0.0)
+            continue;
+        for (std::size_t j = 0; j < cols_; ++j)
+            out[j] += (*this)(n, j) * yn;
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::choleskySolve(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    PEARL_ASSERT(a.cols() == n && b.size() == n);
+
+    // In-place lower-triangular Cholesky factorisation A = L L^T.
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= a(j, k) * a(j, k);
+        if (diag <= 0.0) {
+            fatal("choleskySolve: matrix is not positive definite "
+                  "(pivot ", diag, " at ", j, "); increase lambda");
+        }
+        const double ljj = std::sqrt(diag);
+        a(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double v = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                v -= a(i, k) * a(j, k);
+            a(i, j) = v / ljj;
+        }
+    }
+
+    // Forward substitution L z = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            v -= a(i, k) * b[k];
+        b[i] = v / a(i, i);
+    }
+    // Back substitution L^T x = z.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double v = b[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            v -= a(k, ii) * b[k];
+        b[ii] = v / a(ii, ii);
+    }
+    return b;
+}
+
+} // namespace ml
+} // namespace pearl

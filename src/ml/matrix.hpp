@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the ridge-regression solver.
+ *
+ * Row-major double matrix with the operations Equation 6 needs:
+ * Gram accumulation (X^T X), matrix-vector products, and a Cholesky
+ * solver for the symmetric positive-definite normal equations.
+ */
+
+#ifndef PEARL_ML_MATRIX_HPP
+#define PEARL_ML_MATRIX_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace ml {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    /** Identity matrix scaled by `diag`. */
+    static Matrix
+    identity(std::size_t n, double diag = 1.0)
+    {
+        Matrix m(n, n);
+        for (std::size_t i = 0; i < n; ++i)
+            m(i, i) = diag;
+        return m;
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &
+    operator()(std::size_t r, std::size_t c)
+    {
+        PEARL_ASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    double
+    operator()(std::size_t r, std::size_t c) const
+    {
+        PEARL_ASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    Matrix operator+(const Matrix &o) const;
+    Matrix operator*(const Matrix &o) const;
+
+    /** Matrix-vector product. */
+    std::vector<double> operator*(const std::vector<double> &v) const;
+
+    Matrix transpose() const;
+
+    /** X^T X of this matrix (n x d -> d x d). */
+    Matrix gram() const;
+
+    /** X^T y of this matrix with vector y (length rows()). */
+    std::vector<double> transposeTimes(const std::vector<double> &y) const;
+
+    /**
+     * Solve A x = b for symmetric positive-definite A via Cholesky.
+     * @return the solution vector; fatal on a non-SPD system.
+     */
+    static std::vector<double> choleskySolve(Matrix a,
+                                             std::vector<double> b);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace ml
+} // namespace pearl
+
+#endif // PEARL_ML_MATRIX_HPP

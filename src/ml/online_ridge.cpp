@@ -1,0 +1,97 @@
+#include "ml/online_ridge.hpp"
+
+#include <cmath>
+
+namespace pearl {
+namespace ml {
+
+// Internally the feature vector is augmented with a constant 1 so the
+// intercept is learned by the same RLS recursion as the weights:
+// index 0 of the augmented space is the bias.
+
+OnlineRidge::OnlineRidge(std::size_t dims, double lambda,
+                         double forgetting)
+    : dims_(dims), forgetting_(forgetting), w_(dims, 0.0),
+      p_((dims + 1) * (dims + 1), 0.0), px_(dims + 1, 0.0)
+{
+    PEARL_ASSERT(dims_ > 0);
+    PEARL_ASSERT(lambda > 0.0);
+    PEARL_ASSERT(forgetting_ > 0.0 && forgetting_ <= 1.0);
+    const std::size_t n = dims_ + 1;
+    // P = (lambda I)^{-1} over the augmented space.
+    for (std::size_t i = 0; i < n; ++i)
+        p_[i * n + i] = 1.0 / lambda;
+}
+
+void
+OnlineRidge::warmStart(const RidgeRegression &offline)
+{
+    PEARL_ASSERT(offline.trained());
+    PEARL_ASSERT(offline.weights().size() == dims_);
+    // The offline model predicts
+    //   y = intercept + sum_j w_j (x_j - mean_j) / scale_j
+    // which is an affine function of the raw features.  Recover it by
+    // probing: the bias is the prediction at x = 0, the raw weights the
+    // finite differences along each axis.
+    const std::vector<double> zero(dims_, 0.0);
+    bias_ = offline.predict(zero);
+    for (std::size_t j = 0; j < dims_; ++j) {
+        std::vector<double> e(dims_, 0.0);
+        e[j] = 1.0;
+        w_[j] = offline.predict(e) - bias_;
+    }
+}
+
+void
+OnlineRidge::update(const std::vector<double> &x, double y)
+{
+    PEARL_ASSERT(x.size() == dims_);
+    const std::size_t n = dims_ + 1;
+
+    // Augmented sample z = [1, x...].
+    auto z = [&x](std::size_t i) { return i == 0 ? 1.0 : x[i - 1]; };
+
+    // Classic RLS with forgetting factor f:
+    //   k = P z / (f + z' P z)
+    //   w += k (y - w' z)
+    //   P = (P - k z' P) / f
+    double zpz = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        const double *row = &p_[i * n];
+        for (std::size_t j = 0; j < n; ++j)
+            acc += row[j] * z(j);
+        px_[i] = acc;
+        zpz += z(i) * acc;
+    }
+    const double denom = forgetting_ + zpz;
+    if (denom <= 1e-12)
+        return; // numerically degenerate sample; skip
+
+    const double err = y - predict(x);
+
+    bias_ += px_[0] / denom * err;
+    for (std::size_t j = 0; j < dims_; ++j)
+        w_[j] += px_[j + 1] / denom * err;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ki = px_[i] / denom;
+        double *row = &p_[i * n];
+        for (std::size_t j = 0; j < n; ++j)
+            row[j] = (row[j] - ki * px_[j]) / forgetting_;
+    }
+    ++updates_;
+}
+
+double
+OnlineRidge::predict(const std::vector<double> &x) const
+{
+    PEARL_ASSERT(x.size() == dims_);
+    double y = bias_;
+    for (std::size_t j = 0; j < dims_; ++j)
+        y += w_[j] * x[j];
+    return y;
+}
+
+} // namespace ml
+} // namespace pearl

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The proactive ML power-scaling policy (Section III-D).
+ *
+ * At each reservation-window boundary the policy extracts the closing
+ * window's 30 features, predicts the number of packets the router will
+ * inject in the next window with the ridge model, converts that demand
+ * into bits, and picks the smallest wavelength state whose window
+ * capacity covers it (Equation 7).  The 8WL low state can be excluded to
+ * reproduce the paper's "no 8WL" configurations.
+ */
+
+#ifndef PEARL_ML_POLICY_HPP
+#define PEARL_ML_POLICY_HPP
+
+#include <algorithm>
+
+#include "core/power_policy.hpp"
+#include "ml/features.hpp"
+#include "ml/ridge.hpp"
+
+namespace pearl {
+namespace ml {
+
+/** Tunables of the Equation 7 state-selection rule. */
+struct MlPolicyConfig
+{
+    bool enable8Wl = true;
+    /** Mean packet size in bits used to convert packets to demand
+     *  (requests are 128 b, responses 640 b; the default assumes an even
+     *  mix). */
+    double avgPacketBits = 384.0;
+    /** Demand-to-capacity overcommit: the serializer is work-conserving
+     *  and bursts tolerate brief queueing, so a state is considered
+     *  adequate when predicted demand <= capacity * this factor. */
+    double utilizationTarget = 1.45;
+};
+
+/** Proactive regression-driven wavelength-state policy. */
+class MlPowerPolicy : public core::PowerPolicy
+{
+  public:
+    /**
+     * @param model trained ridge model (not owned; must outlive).
+     * @param cfg   selection-rule configuration.
+     */
+    explicit MlPowerPolicy(const RidgeRegression *model,
+                           MlPolicyConfig cfg = MlPolicyConfig{})
+        : model_(model), cfg_(cfg)
+    {
+        PEARL_ASSERT(model_ && model_->trained(),
+                     "MlPowerPolicy requires a trained model");
+    }
+
+    photonic::WlState
+    nextState(const core::WindowObservation &obs) override
+    {
+        PEARL_ASSERT(obs.telemetry, "observation lacks telemetry");
+        const std::vector<double> x = FeatureExtractor::extract(
+            *obs.telemetry, obs.windowCycles, obs.isL3Router);
+        const double predicted = std::max(0.0, model_->predict(x));
+        return stateForDemand(predicted, obs.windowCycles, cfg_);
+    }
+
+    const char *name() const override { return "ml"; }
+
+    /**
+     * Equation 7: smallest state whose usable window capacity covers the
+     * predicted injected packets.  Shared with the offline evaluation of
+     * state-selection accuracy.
+     */
+    static photonic::WlState
+    stateForDemand(double predicted_packets, std::uint64_t window_cycles,
+                   const MlPolicyConfig &cfg)
+    {
+        const double demand_bits = predicted_packets * cfg.avgPacketBits;
+        const int lo = cfg.enable8Wl ? 0 : 1;
+        for (int i = lo; i < photonic::kNumWlStates; ++i) {
+            const photonic::WlState s = photonic::stateFromIndex(i);
+            const double capacity =
+                static_cast<double>(photonic::bitsPerCycle(s)) *
+                static_cast<double>(window_cycles) * cfg.utilizationTarget;
+            if (demand_bits <= capacity)
+                return s;
+        }
+        return photonic::WlState::WL64;
+    }
+
+  private:
+    const RidgeRegression *model_;
+    MlPolicyConfig cfg_;
+};
+
+} // namespace ml
+} // namespace pearl
+
+#endif // PEARL_ML_POLICY_HPP

@@ -1,0 +1,139 @@
+#include "ml/ridge.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#include <string>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace ml {
+
+void
+RidgeRegression::fit(const Dataset &data, double lambda)
+{
+    PEARL_ASSERT(!data.empty(), "cannot fit on an empty dataset");
+    PEARL_ASSERT(lambda >= 0.0);
+    const std::size_t n = data.size();
+    const std::size_t d = data.features.front().size();
+
+    // Feature standardisation.
+    mean_.assign(d, 0.0);
+    scale_.assign(d, 0.0);
+    for (const auto &row : data.features) {
+        PEARL_ASSERT(row.size() == d, "ragged feature rows");
+        for (std::size_t j = 0; j < d; ++j)
+            mean_[j] += row[j];
+    }
+    for (std::size_t j = 0; j < d; ++j)
+        mean_[j] /= static_cast<double>(n);
+    for (const auto &row : data.features) {
+        for (std::size_t j = 0; j < d; ++j) {
+            const double c = row[j] - mean_[j];
+            scale_[j] += c * c;
+        }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+        scale_[j] = std::sqrt(scale_[j] / static_cast<double>(n));
+        if (scale_[j] < 1e-12)
+            scale_[j] = 1.0; // constant feature: centred to 0, weight ~0
+    }
+
+    // Centred label; the intercept is the label mean (unregularised).
+    double ymean = 0.0;
+    for (double y : data.labels)
+        ymean += y;
+    ymean /= static_cast<double>(n);
+
+    // Build standardised design and the normal equations.
+    Matrix x(n, d);
+    std::vector<double> yc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j)
+            x(i, j) = (data.features[i][j] - mean_[j]) / scale_[j];
+        yc[i] = data.labels[i] - ymean;
+    }
+
+    Matrix a = x.gram();
+    for (std::size_t j = 0; j < d; ++j)
+        a(j, j) += lambda > 0.0 ? lambda : 1e-9;
+    std::vector<double> b = x.transposeTimes(yc);
+
+    weights_ = Matrix::choleskySolve(std::move(a), std::move(b));
+    intercept_ = ymean;
+    lambda_ = lambda;
+}
+
+double
+RidgeRegression::predict(const std::vector<double> &x) const
+{
+    PEARL_ASSERT(trained(), "predict before fit");
+    PEARL_ASSERT(x.size() == weights_.size());
+    double y = intercept_;
+    for (std::size_t j = 0; j < x.size(); ++j)
+        y += weights_[j] * (x[j] - mean_[j]) / scale_[j];
+    return y;
+}
+
+std::vector<double>
+RidgeRegression::predictAll(const Dataset &data) const
+{
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (const auto &row : data.features)
+        out.push_back(predict(row));
+    return out;
+}
+
+void
+RidgeRegression::save(std::ostream &os) const
+{
+    PEARL_ASSERT(trained(), "save before fit");
+    os << "pearl-ridge-v1\n" << weights_.size() << " "
+       << std::setprecision(17) << lambda_ << " " << intercept_ << "\n";
+    for (std::size_t j = 0; j < weights_.size(); ++j)
+        os << mean_[j] << " " << scale_[j] << " " << weights_[j] << "\n";
+}
+
+bool
+RidgeRegression::load(std::istream &is)
+{
+    std::string magic;
+    std::size_t d = 0;
+    if (!(is >> magic >> d >> lambda_ >> intercept_) ||
+        magic != "pearl-ridge-v1" || d == 0 || d > 10000) {
+        return false;
+    }
+    mean_.assign(d, 0.0);
+    scale_.assign(d, 1.0);
+    weights_.assign(d, 0.0);
+    for (std::size_t j = 0; j < d; ++j) {
+        if (!(is >> mean_[j] >> scale_[j] >> weights_[j]))
+            return false;
+    }
+    return true;
+}
+
+double
+nrmseFit(const std::vector<double> &truth,
+         const std::vector<double> &predicted)
+{
+    PEARL_ASSERT(truth.size() == predicted.size() && !truth.empty());
+    double mean = 0.0;
+    for (double y : truth)
+        mean += y;
+    mean /= static_cast<double>(truth.size());
+
+    double err = 0.0, dev = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        err += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+        dev += (truth[i] - mean) * (truth[i] - mean);
+    }
+    if (dev < 1e-12)
+        return err < 1e-12 ? 1.0 : -std::sqrt(err);
+    return 1.0 - std::sqrt(err) / std::sqrt(dev);
+}
+
+} // namespace ml
+} // namespace pearl

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ridge (L2-regularised) linear regression — Equations 4-6 of the paper.
+ *
+ * The model predicts the number of packets injected into a router over
+ * the next reservation window from the 30 Table III features.  Features
+ * are standardised (zero mean, unit variance) before solving the normal
+ * equations  w = (lambda I + X^T X)^{-1} X^T t  with a Cholesky
+ * factorisation; the intercept absorbs the label mean and is not
+ * regularised.
+ */
+
+#ifndef PEARL_ML_RIDGE_HPP
+#define PEARL_ML_RIDGE_HPP
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace pearl {
+namespace ml {
+
+/** A training/evaluation dataset: one row per (features, label) sample. */
+struct Dataset
+{
+    std::vector<std::vector<double>> features;
+    std::vector<double> labels;
+
+    std::size_t size() const { return labels.size(); }
+    bool empty() const { return labels.empty(); }
+
+    void
+    add(std::vector<double> x, double y)
+    {
+        features.push_back(std::move(x));
+        labels.push_back(y);
+    }
+
+    /** Append all samples of `other`. */
+    void
+    append(const Dataset &other)
+    {
+        features.insert(features.end(), other.features.begin(),
+                        other.features.end());
+        labels.insert(labels.end(), other.labels.begin(),
+                      other.labels.end());
+    }
+};
+
+/** Ridge-regression model. */
+class RidgeRegression
+{
+  public:
+    /** Fit on `data` with regularisation `lambda` (Equation 6). */
+    void fit(const Dataset &data, double lambda);
+
+    /** Predict the label for one feature vector. */
+    double predict(const std::vector<double> &x) const;
+
+    /** Predictions for every row of `data`. */
+    std::vector<double> predictAll(const Dataset &data) const;
+
+    /** Serialise the trained model (text format). */
+    void save(std::ostream &os) const;
+
+    /** Load a model saved by save().  @return false on format error. */
+    bool load(std::istream &is);
+
+    bool trained() const { return !weights_.empty(); }
+    double lambda() const { return lambda_; }
+    const std::vector<double> &weights() const { return weights_; }
+    double intercept() const { return intercept_; }
+
+  private:
+    std::vector<double> mean_;
+    std::vector<double> scale_; //!< per-feature std (1 where degenerate)
+    std::vector<double> weights_;
+    double intercept_ = 0.0;
+    double lambda_ = 0.0;
+};
+
+/**
+ * Normalised root-mean-square error in the paper's convention: 1 is a
+ * perfect fit, -inf the worst (MATLAB goodness-of-fit NRMSE):
+ *   1 - ||y - yhat|| / ||y - mean(y)||.
+ */
+double nrmseFit(const std::vector<double> &truth,
+                const std::vector<double> &predicted);
+
+} // namespace ml
+} // namespace pearl
+
+#endif // PEARL_ML_RIDGE_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Photonic device constants (Table V of the paper plus Section III-A).
+ *
+ * All losses are in dB, powers in watts, dimensions in metres unless the
+ * field name says otherwise.  The defaults reproduce Table V; alternative
+ * device assumptions can be explored by constructing a modified struct.
+ */
+
+#ifndef PEARL_PHOTONIC_DEVICES_HPP
+#define PEARL_PHOTONIC_DEVICES_HPP
+
+namespace pearl {
+namespace photonic {
+
+/** Optical component losses and powers used in the PEARL power budget. */
+struct DeviceConstants
+{
+    // Losses (Table V) -------------------------------------------------
+    double modulatorInsertionDb = 1.0;   //!< modulator insertion loss
+    double waveguideDbPerCm = 1.0;       //!< straight waveguide loss
+    double couplerDb = 1.0;              //!< laser-to-waveguide coupler
+    double splitterDb = 0.2;             //!< per split on broadcast paths
+    double filterThroughDb = 1.00e-3;    //!< per off-resonance ring passed
+    double filterDropDb = 1.5;           //!< drop into the target ring
+    double photodetectorDb = 0.1;        //!< detector insertion loss
+    double receiverSensitivityDbm = -15.0; //!< minimum detectable power
+
+    // Ring powers (Table V) ---------------------------------------------
+    double ringHeatingW = 26e-6;         //!< trimming heater, per ring
+    double ringModulatingW = 500e-6;     //!< modulation driver, per ring
+
+    // Link/device parameters (Section III-A) ------------------------------
+    double dataRateGbps = 16.0;          //!< per-wavelength data rate
+    double mrrDiameterUm = 3.3;          //!< MRR diameter (Table II)
+    double waveguidePitchUm = 5.28;      //!< waveguide pitch (Table II)
+    double propagationPsPerMm = 10.45;   //!< waveguide group delay
+    double laserTurnOnNs = 2.0;          //!< on-chip InP FP laser turn-on
+
+    // E/O + O/E electrical back-end energy, per bit.  Covers serializer,
+    // modulator driver, TIA and voltage amplifier (Section III-A devices).
+    double transceiverPjPerBit = 0.25;
+};
+
+/** Geometry of the 4x4-cluster + L3 PEARL chip used for loss budgets. */
+struct ChipGeometry
+{
+    double chipWidthMm = 20.0;          //!< die edge (Table II areas ~ 400mm2)
+    double clusterPitchMm = 5.0;        //!< spacing between router sites
+    int numClusterRouters = 16;
+    int numL3Routers = 1;
+
+    int totalRouters() const { return numClusterRouters + numL3Routers; }
+
+    /**
+     * Worst-case waveguide length between two routers on the serpentine
+     * crossbar layout: roughly one full traversal of the die.
+     */
+    double
+    worstCasePathCm() const
+    {
+        return 2.0 * chipWidthMm / 10.0;
+    }
+};
+
+} // namespace photonic
+} // namespace pearl
+
+#endif // PEARL_PHOTONIC_DEVICES_HPP

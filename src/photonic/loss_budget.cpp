@@ -1,0 +1,76 @@
+#include "photonic/loss_budget.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+
+namespace pearl {
+namespace photonic {
+
+int
+LossBudget::ringsPassedWorstCase() const
+{
+    // On a single-writer waveguide each of the other routers' receive
+    // banks sits on the channel; in the worst case a wavelength passes
+    // every bank except the destination's own drop ring.  Each bank holds
+    // one ring per wavelength, and only the same-wavelength ring of each
+    // bank couples appreciably, so the count is one ring per non-target
+    // router.
+    return geom_.totalRouters() - 1;
+}
+
+double
+LossBudget::worstCasePathLossDb() const
+{
+    const double waveguide =
+        dev_.waveguideDbPerCm * geom_.worstCasePathCm();
+    const double through =
+        dev_.filterThroughDb * static_cast<double>(ringsPassedWorstCase());
+    return dev_.couplerDb + dev_.modulatorInsertionDb + waveguide + through +
+           dev_.filterDropDb + dev_.photodetectorDb;
+}
+
+double
+LossBudget::reservationPathLossDb() const
+{
+    // Broadcast: a 1:N split costs 10*log10(N) intrinsic plus the excess
+    // splitter loss at each of the log2(N) stages of the split tree.
+    const int fanout = geom_.totalRouters() - 1;
+    const double intrinsic =
+        10.0 * std::log10(static_cast<double>(fanout));
+    const double stages = std::ceil(std::log2(static_cast<double>(fanout)));
+    const double excess = dev_.splitterDb * stages;
+    const double waveguide =
+        dev_.waveguideDbPerCm * geom_.worstCasePathCm();
+    return dev_.couplerDb + dev_.modulatorInsertionDb + waveguide +
+           intrinsic + excess + dev_.filterDropDb + dev_.photodetectorDb;
+}
+
+double
+LossBudget::requiredLaserOpticalW() const
+{
+    const double sensitivity_w =
+        units::dbmToWatts(dev_.receiverSensitivityDbm);
+    return sensitivity_w * units::dbToLinear(worstCasePathLossDb());
+}
+
+double
+LossBudget::electricalLaserW(WlState state, double wall_plug_efficiency) const
+{
+    PEARL_ASSERT(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0);
+    const double per_wavelength =
+        requiredLaserOpticalW() / wall_plug_efficiency;
+    return per_wavelength * static_cast<double>(wavelengths(state));
+}
+
+double
+LossBudget::calibratedEfficiency(double paper_full_state_w) const
+{
+    PEARL_ASSERT(paper_full_state_w > 0.0);
+    const double optical_total = requiredLaserOpticalW() * 64.0;
+    return optical_total / paper_full_state_w;
+}
+
+} // namespace photonic
+} // namespace pearl

@@ -1,0 +1,48 @@
+#include "photonic/power_model.hpp"
+
+#include "common/units.hpp"
+
+namespace pearl {
+namespace photonic {
+
+PowerModel::PowerModel(const DeviceConstants &dev)
+    : dev_(dev), laserW_(kPaperLaserW)
+{}
+
+PowerModel
+PowerModel::fromLossBudget(const LossBudget &budget,
+                           double wall_plug_efficiency)
+{
+    PowerModel model(budget.devices());
+    for (int i = 0; i < kNumWlStates; ++i) {
+        model.laserW_[i] = budget.electricalLaserW(stateFromIndex(i),
+                                                   wall_plug_efficiency);
+    }
+    return model;
+}
+
+double
+PowerModel::trimmingPowerW(WlState state, int tx_rings, int rx_rings) const
+{
+    // Transmit-side heaters scale with the lit banks; receive-side rings
+    // must stay tuned regardless of the local laser state because other
+    // routers may still address this node at full width.
+    const double lit_fraction = litBanks(state) / 4.0;
+    const double tx = dev_.ringHeatingW * tx_rings * lit_fraction;
+    const double rx = dev_.ringHeatingW * rx_rings;
+    return tx + rx;
+}
+
+double
+PowerModel::dynamicEnergyPerBitJ() const
+{
+    // A ring modulating at the per-wavelength data rate spends
+    // ringModulatingW continuously; per bit that is P / rate.
+    const double modulation =
+        dev_.ringModulatingW / (dev_.dataRateGbps * units::giga);
+    const double transceiver = dev_.transceiverPjPerBit * units::pico;
+    return modulation + transceiver;
+}
+
+} // namespace photonic
+} // namespace pearl

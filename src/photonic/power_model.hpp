@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-router photonic power model.
+ *
+ * Splits the optical power of one PEARL router into:
+ *  - laser power, a function of the wavelength state (static while lit);
+ *  - trimming (ring heating) power, scaling with the lit banks because the
+ *    four-bank design lets heaters of dark banks be relaxed (Section III-C);
+ *  - modulation + transceiver energy, dynamic per transmitted bit.
+ *
+ * Laser power per state defaults to the paper's calibrated values; the
+ * bottom-up derivation from the loss budget is available through
+ * `fromLossBudget` for sensitivity studies.
+ */
+
+#ifndef PEARL_PHOTONIC_POWER_MODEL_HPP
+#define PEARL_PHOTONIC_POWER_MODEL_HPP
+
+#include <array>
+
+#include "photonic/devices.hpp"
+#include "photonic/loss_budget.hpp"
+#include "photonic/wl_state.hpp"
+
+namespace pearl {
+namespace photonic {
+
+/** Power/energy model of one router's optical front-end. */
+class PowerModel
+{
+  public:
+    /** Paper-calibrated per-state laser powers in watts (Section IV-B). */
+    static constexpr std::array<double, kNumWlStates> kPaperLaserW = {
+        0.145, 0.29, 0.581, 0.871, 1.16
+    };
+
+    /** Construct with the paper's calibrated laser powers. */
+    explicit PowerModel(const DeviceConstants &dev = DeviceConstants{});
+
+    /**
+     * Construct with laser powers derived bottom-up from a loss budget at
+     * a given wall-plug efficiency.
+     */
+    static PowerModel fromLossBudget(const LossBudget &budget,
+                                     double wall_plug_efficiency);
+
+    /** Electrical laser power in watts while in `state`. */
+    double
+    laserPowerW(WlState state) const
+    {
+        return laserW_[static_cast<int>(state)];
+    }
+
+    /**
+     * A copy with all laser powers multiplied by `factor`.  The paper's
+     * calibrated state powers are network-aggregate figures; dividing by
+     * the router count yields the per-router laser array power.
+     */
+    PowerModel
+    scaled(double factor) const
+    {
+        PowerModel copy = *this;
+        for (auto &w : copy.laserW_)
+            w *= factor;
+        return copy;
+    }
+
+    /**
+     * Ring-trimming (heating) power in watts while in `state`.
+     * @param tx_rings modulator rings on this router's data waveguide.
+     * @param rx_rings detector rings this router keeps tuned.
+     */
+    double trimmingPowerW(WlState state, int tx_rings, int rx_rings) const;
+
+    /**
+     * Dynamic energy per transmitted bit in joules: ring modulation plus
+     * the electrical transceiver back-end (serializer, driver, TIA).
+     */
+    double dynamicEnergyPerBitJ() const;
+
+    const DeviceConstants &devices() const { return dev_; }
+
+  private:
+    DeviceConstants dev_;
+    std::array<double, kNumWlStates> laserW_;
+};
+
+} // namespace photonic
+} // namespace pearl
+
+#endif // PEARL_PHOTONIC_POWER_MODEL_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * R-SWMR reservation-channel sizing (Section III-A3).
+ *
+ * Before data moves on a single-writer waveguide, the writer broadcasts a
+ * reservation packet telling every listener which router should tune its
+ * detectors and how the bandwidth is split.  The paper sizes it as
+ *
+ *   ResPacket_size = log2(2 * N * S_CPU * S_GPU * D * N_L3)
+ *
+ * with N non-L3 routers, S_CPU/S_GPU packet-type counts (request and
+ * response -> 2 each), D = 5 dynamic-allocation possibilities and N_L3 L3
+ * routers.  From the packet size, the per-wavelength data rate and the
+ * network frequency we derive the number of reservation wavelengths.
+ */
+
+#ifndef PEARL_PHOTONIC_RESERVATION_HPP
+#define PEARL_PHOTONIC_RESERVATION_HPP
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace photonic {
+
+/** Parameters of the reservation channel. */
+struct ReservationConfig
+{
+    int numRouters = 16;        //!< N: non-L3 routers
+    int numL3Routers = 1;       //!< N_L3
+    int cpuPacketTypes = 2;     //!< S_CPU: request + response
+    int gpuPacketTypes = 2;     //!< S_GPU: request + response
+    int allocationLevels = 5;   //!< D: {0,25,50,75,100}% splits
+    double dataRateGbps = 16.0; //!< per reservation wavelength
+    double networkFreqGhz = 2.0;
+};
+
+/** Sizing calculations for the reservation waveguide. */
+class ReservationChannel
+{
+  public:
+    explicit ReservationChannel(const ReservationConfig &cfg = {}) : cfg_(cfg)
+    {
+        PEARL_ASSERT(cfg_.numRouters > 0 && cfg_.numL3Routers > 0);
+    }
+
+    /** Reservation packet size in bits (the paper's formula, rounded up). */
+    int
+    packetBits() const
+    {
+        const double combinations = 2.0 * cfg_.numRouters *
+                                    cfg_.cpuPacketTypes * cfg_.gpuPacketTypes *
+                                    cfg_.allocationLevels * cfg_.numL3Routers;
+        return static_cast<int>(std::ceil(std::log2(combinations)));
+    }
+
+    /** Bits one reservation wavelength carries per network cycle. */
+    double
+    bitsPerWavelengthPerCycle() const
+    {
+        return cfg_.dataRateGbps / cfg_.networkFreqGhz;
+    }
+
+    /**
+     * Wavelengths needed so a reservation broadcast completes within one
+     * network cycle.
+     */
+    int
+    wavelengthsNeeded() const
+    {
+        return static_cast<int>(
+            std::ceil(packetBits() / bitsPerWavelengthPerCycle()));
+    }
+
+    /**
+     * Latency in network cycles for a reservation using `wavelengths`
+     * reservation wavelengths (>= 1 cycle; plus one cycle for the
+     * listeners to tune their rings).
+     */
+    int
+    latencyCycles(int wavelengths) const
+    {
+        PEARL_ASSERT(wavelengths > 0);
+        const double per_cycle =
+            bitsPerWavelengthPerCycle() * wavelengths;
+        const int broadcast = static_cast<int>(
+            std::ceil(static_cast<double>(packetBits()) / per_cycle));
+        const int tune = 1;
+        return broadcast + tune;
+    }
+
+    const ReservationConfig &config() const { return cfg_; }
+
+  private:
+    ReservationConfig cfg_;
+};
+
+} // namespace photonic
+} // namespace pearl
+
+#endif // PEARL_PHOTONIC_RESERVATION_HPP

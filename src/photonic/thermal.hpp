@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Thermal drift and ring-trimming model.
+ *
+ * Microring resonators are thermally sensitive (Section III-A1): the
+ * resonance wavelength drifts with temperature, and ring heaters keep
+ * each ring locked to its channel.  This model captures the feedback
+ * loop the paper assumes away behind the flat 26 uW/ring figure:
+ *
+ *  - each router's ring bank sees a die temperature = ambient + a term
+ *    proportional to its recent switching activity + a slow random walk
+ *    (neighbouring-logic workload changes);
+ *  - a proportional heater controller trims the rings back to their
+ *    locked temperature; heater power grows with the temperature gap
+ *    *below* the lock point (heaters can only heat, so the lock point
+ *    sits above the hottest expected die temperature);
+ *  - if the die exceeds the lock point the ring cannot be trimmed back
+ *    and the bank reports loss of lock (detection errors in a real
+ *    system).
+ *
+ * The model plugs into PearlNetwork as an optional replacement for the
+ * constant trimming power and is exercised standalone by the thermal
+ * ablation bench.
+ */
+
+#ifndef PEARL_PHOTONIC_THERMAL_HPP
+#define PEARL_PHOTONIC_THERMAL_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace pearl {
+namespace photonic {
+
+/** Thermal model parameters. */
+struct ThermalConfig
+{
+    double ambientC = 45.0;       //!< die baseline temperature
+    double lockPointC = 65.0;     //!< temperature rings are tuned for
+    /** Temperature rise per watt of local switching activity. */
+    double heatingCPerWatt = 8.0;
+    /** Std-dev of the slow ambient random walk per step. */
+    double driftSigmaC = 0.02;
+    /** Mean-reversion rate of the random walk toward ambientC. */
+    double driftReversion = 0.001;
+    /** Heater electrical power per ring per degree of trim. */
+    double heaterWPerRingPerC = 1.3e-6;
+    /** Max degrees a heater can trim (power-limited). */
+    double heaterRangeC = 25.0;
+};
+
+/** Thermal state + heater controller of one router's ring bank. */
+class ThermalRingBank
+{
+  public:
+    /**
+     * @param cfg   model parameters.
+     * @param rings number of rings in the bank.
+     * @param rng   forked stream for the drift walk.
+     */
+    ThermalRingBank(const ThermalConfig &cfg, int rings, Rng rng)
+        : cfg_(cfg), rings_(rings), rng_(rng), dieC_(cfg.ambientC)
+    {}
+
+    /**
+     * Advance one step.
+     * @param activity_w local switching power this step, watts.
+     * @param dt_s       step duration, seconds (energy accounting).
+     */
+    void
+    step(double activity_w, double dt_s)
+    {
+        // Slow environmental walk with mean reversion.
+        const double noise =
+            (rng_.uniform() * 2.0 - 1.0) * cfg_.driftSigmaC;
+        walk_ += noise - cfg_.driftReversion * walk_;
+        dieC_ = cfg_.ambientC + walk_ +
+                cfg_.heatingCPerWatt * activity_w;
+
+        // Heaters trim the rings up to the lock point.
+        const double gap = cfg_.lockPointC - dieC_;
+        if (gap < 0.0) {
+            // Die hotter than the lock point: rings drift past their
+            // channel and cannot be pulled back by heating.
+            locked_ = false;
+            heaterPowerW_ = 0.0;
+        } else if (gap > cfg_.heaterRangeC) {
+            // Too cold: the heaters saturate before reaching the lock
+            // point.
+            locked_ = false;
+            heaterPowerW_ =
+                cfg_.heaterWPerRingPerC * rings_ * cfg_.heaterRangeC;
+        } else {
+            locked_ = true;
+            heaterPowerW_ = cfg_.heaterWPerRingPerC * rings_ * gap;
+        }
+        heaterEnergyJ_ += heaterPowerW_ * dt_s;
+        ++steps_;
+        unlockedSteps_ += locked_ ? 0 : 1;
+    }
+
+    double dieTemperatureC() const { return dieC_; }
+    double heaterPowerW() const { return heaterPowerW_; }
+    double heaterEnergyJ() const { return heaterEnergyJ_; }
+    bool locked() const { return locked_; }
+
+    /** Fraction of steps the bank was out of lock. */
+    double
+    unlockedFraction() const
+    {
+        return steps_ ? static_cast<double>(unlockedSteps_) /
+                            static_cast<double>(steps_)
+                      : 0.0;
+    }
+
+    const ThermalConfig &config() const { return cfg_; }
+
+  private:
+    ThermalConfig cfg_;
+    int rings_;
+    Rng rng_;
+    double dieC_;
+    double walk_ = 0.0;
+    double heaterPowerW_ = 0.0;
+    double heaterEnergyJ_ = 0.0;
+    bool locked_ = true;
+    std::uint64_t steps_ = 0;
+    std::uint64_t unlockedSteps_ = 0;
+};
+
+} // namespace photonic
+} // namespace pearl
+
+#endif // PEARL_PHOTONIC_THERMAL_HPP

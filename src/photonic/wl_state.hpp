@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Wavelength (laser power) states of a PEARL router's optical transmitter.
+ *
+ * The 64 wavelengths of each data waveguide are organised as four banks of
+ * 16 lasers; power scaling lights a subset of the banks, and the lowest
+ * bank can additionally be half-lit, giving five states: 64, 48, 32, 16
+ * and 8 wavelengths (Section III-C).
+ */
+
+#ifndef PEARL_PHOTONIC_WL_STATE_HPP
+#define PEARL_PHOTONIC_WL_STATE_HPP
+
+#include <array>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace photonic {
+
+/** The five laser power states, ordered from lowest to highest power. */
+enum class WlState : int { WL8 = 0, WL16 = 1, WL32 = 2, WL48 = 3, WL64 = 4 };
+
+constexpr int kNumWlStates = 5;
+
+/** All states in ascending power order. */
+constexpr std::array<WlState, kNumWlStates> kWlStates = {
+    WlState::WL8, WlState::WL16, WlState::WL32, WlState::WL48, WlState::WL64
+};
+
+/** Number of lit wavelengths in a state. */
+inline int
+wavelengths(WlState s)
+{
+    static constexpr int counts[kNumWlStates] = {8, 16, 32, 48, 64};
+    return counts[static_cast<int>(s)];
+}
+
+/** State index (0 = WL8 ... 4 = WL64). */
+inline int
+indexOf(WlState s)
+{
+    return static_cast<int>(s);
+}
+
+inline WlState
+stateFromIndex(int idx)
+{
+    PEARL_ASSERT(idx >= 0 && idx < kNumWlStates);
+    return static_cast<WlState>(idx);
+}
+
+/**
+ * Sustained serializer bandwidth in bits per network cycle.  Each lit
+ * wavelength carries one bit per network cycle through the 4-bank
+ * serializer (a 128-bit flit at the full 64-wavelength state takes two
+ * cycles, matching Section III-C).
+ */
+inline int
+bitsPerCycle(WlState s)
+{
+    return wavelengths(s);
+}
+
+/**
+ * Quantised per-flit serialization latency in cycles, as described for
+ * the four-bank multiplexer design: 64 WL -> 2 cycles, 48/32 WL -> 4,
+ * 16 WL -> 8, 8 WL -> 16.
+ */
+inline int
+cyclesPerFlit(WlState s)
+{
+    static constexpr int cycles[kNumWlStates] = {16, 8, 4, 4, 2};
+    return cycles[static_cast<int>(s)];
+}
+
+/** Number of fully lit 16-laser banks (the 8-WL state half-lights one). */
+inline double
+litBanks(WlState s)
+{
+    return static_cast<double>(wavelengths(s)) / 16.0;
+}
+
+inline const char *
+toString(WlState s)
+{
+    static constexpr const char *names[kNumWlStates] = {
+        "8WL", "16WL", "32WL", "48WL", "64WL"
+    };
+    return names[static_cast<int>(s)];
+}
+
+} // namespace photonic
+} // namespace pearl
+
+#endif // PEARL_PHOTONIC_WL_STATE_HPP

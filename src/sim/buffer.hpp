@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Flit-slot-accounted packet buffers.
+ *
+ * PEARL's dynamic bandwidth allocator works on *buffer-slot occupancy*:
+ * each slot holds one 128-bit flit, and a packet occupies as many slots as
+ * it has flits.  FlitBuffer is a bounded FIFO with that accounting; the
+ * per-router CPU/GPU buffer pools are built from it.
+ */
+
+#ifndef PEARL_SIM_BUFFER_HPP
+#define PEARL_SIM_BUFFER_HPP
+
+#include <deque>
+#include <optional>
+
+#include "common/log.hpp"
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace sim {
+
+/** Bounded FIFO of packets with flit-slot occupancy accounting. */
+class FlitBuffer
+{
+  public:
+    /** @param capacity_slots total flit slots available. */
+    explicit FlitBuffer(int capacity_slots) : capacity_(capacity_slots)
+    {
+        PEARL_ASSERT(capacity_slots > 0);
+    }
+
+    /** Slots currently occupied (sum of queued packets' flits). */
+    int occupiedSlots() const { return occupied_; }
+
+    /** Total capacity in slots. */
+    int capacitySlots() const { return capacity_; }
+
+    /** Slots still free. */
+    int freeSlots() const { return capacity_ - occupied_; }
+
+    /** Occupancy fraction in [0, 1] — the beta of Equations 1-2. */
+    double
+    occupancy() const
+    {
+        return static_cast<double>(occupied_) / static_cast<double>(capacity_);
+    }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t packetCount() const { return queue_.size(); }
+
+    /** True if a packet of `flits` flits would fit right now. */
+    bool
+    canAccept(int flits) const
+    {
+        return flits <= freeSlots();
+    }
+
+    /**
+     * Enqueue a packet.
+     * @return false (and leave the buffer unchanged) when it doesn't fit.
+     */
+    bool
+    push(const Packet &pkt)
+    {
+        const int flits = pkt.numFlits();
+        if (!canAccept(flits))
+            return false;
+        queue_.push_back(pkt);
+        occupied_ += flits;
+        return true;
+    }
+
+    /** Peek the head packet; buffer must be non-empty. */
+    const Packet &
+    front() const
+    {
+        PEARL_ASSERT(!queue_.empty());
+        return queue_.front();
+    }
+
+    Packet &
+    front()
+    {
+        PEARL_ASSERT(!queue_.empty());
+        return queue_.front();
+    }
+
+    /** Dequeue the head packet. */
+    Packet
+    pop()
+    {
+        PEARL_ASSERT(!queue_.empty());
+        Packet pkt = queue_.front();
+        queue_.pop_front();
+        occupied_ -= pkt.numFlits();
+        PEARL_ASSERT(occupied_ >= 0);
+        return pkt;
+    }
+
+    /** Drop everything (used between benchmark phases). */
+    void
+    clear()
+    {
+        queue_.clear();
+        occupied_ = 0;
+    }
+
+  private:
+    int capacity_;
+    int occupied_ = 0;
+    std::deque<Packet> queue_;
+};
+
+/**
+ * Per-router pair of class-separated input buffers (CPU pool and GPU
+ * pool), as required by Algorithm 1: occupancies are computed per core
+ * type, and the GPU can never block CPU packets because they never share
+ * a queue.
+ */
+class DualClassBuffer
+{
+  public:
+    DualClassBuffer(int cpu_slots, int gpu_slots)
+        : buffers_{FlitBuffer(cpu_slots), FlitBuffer(gpu_slots)}
+    {}
+
+    FlitBuffer &
+    of(CoreType t)
+    {
+        return buffers_[static_cast<int>(t)];
+    }
+
+    const FlitBuffer &
+    of(CoreType t) const
+    {
+        return buffers_[static_cast<int>(t)];
+    }
+
+    /** beta_ocup for one core type (Eq. 1 / Eq. 2). */
+    double
+    occupancy(CoreType t) const
+    {
+        return of(t).occupancy();
+    }
+
+    /** Buf_omega = beta_CPU + beta_GPU (Eq. 3). */
+    double
+    totalOccupancy() const
+    {
+        return occupancy(CoreType::CPU) + occupancy(CoreType::GPU);
+    }
+
+    bool
+    empty() const
+    {
+        return of(CoreType::CPU).empty() && of(CoreType::GPU).empty();
+    }
+
+    void
+    clear()
+    {
+        buffers_[0].clear();
+        buffers_[1].clear();
+    }
+
+  private:
+    FlitBuffer buffers_[kNumCoreTypes];
+};
+
+} // namespace sim
+} // namespace pearl
+
+#endif // PEARL_SIM_BUFFER_HPP

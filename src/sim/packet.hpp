@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Packet and message-class definitions shared by every network model.
+ *
+ * The message classes mirror Table III of the PEARL paper (features 14-29):
+ * each coherence message is labelled request/response, with the core type
+ * and the cache level it is associated with.  "L2 up" means the packet is
+ * travelling up towards an L1; "L2 down" means it is travelling down
+ * towards the L3.
+ */
+
+#ifndef PEARL_SIM_PACKET_HPP
+#define PEARL_SIM_PACKET_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace sim {
+
+/** Identifier of a network endpoint (router). */
+using NodeId = int;
+
+/** Simulation time in network cycles. */
+using Cycle = std::uint64_t;
+
+/** Heterogeneous core types sharing the network. */
+enum class CoreType : std::uint8_t { CPU = 0, GPU = 1 };
+
+/** Number of distinct core types (array sizing). */
+constexpr int kNumCoreTypes = 2;
+
+inline const char *
+toString(CoreType t)
+{
+    return t == CoreType::CPU ? "CPU" : "GPU";
+}
+
+/**
+ * Coherence-message classes per Table III.  The first eight are requests,
+ * the second eight the matching responses; ordering is load-bearing for
+ * the ML feature extractor, which maps these directly onto features 14-29.
+ */
+enum class MsgClass : std::uint8_t
+{
+    ReqCpuL1I = 0,   //!< CPU L1 instruction fetch miss -> L2
+    ReqCpuL1D,       //!< CPU L1 data miss -> L2
+    ReqCpuL2Up,      //!< CPU L2 -> L1 (invalidate/probe going up)
+    ReqCpuL2Down,    //!< CPU L2 miss -> L3 (crosses the network)
+    ReqGpuL1,        //!< GPU L1 miss -> L2
+    ReqGpuL2Up,      //!< GPU L2 -> L1 probe
+    ReqGpuL2Down,    //!< GPU L2 miss -> L3 (crosses the network)
+    ReqL3,           //!< L3 miss -> memory controller
+    RespCpuL1I,      //!< L2 -> CPU L1I fill
+    RespCpuL1D,      //!< L2 -> CPU L1D fill
+    RespCpuL2Up,     //!< L1 -> L2 ack/writeback for an up probe
+    RespCpuL2Down,   //!< L3 -> CPU L2 fill (crosses the network)
+    RespGpuL1,       //!< L2 -> GPU L1 fill
+    RespGpuL2Up,     //!< L1 -> L2 ack for an up probe
+    RespGpuL2Down,   //!< L3 -> GPU L2 fill (crosses the network)
+    RespL3,          //!< memory -> L3 fill
+    NumClasses
+};
+
+constexpr int kNumMsgClasses = static_cast<int>(MsgClass::NumClasses);
+
+/** True for the eight request classes. */
+inline bool
+isRequest(MsgClass c)
+{
+    return static_cast<int>(c) < 8;
+}
+
+/** True for the eight response classes. */
+inline bool
+isResponse(MsgClass c)
+{
+    return !isRequest(c);
+}
+
+/** Core type whose traffic a message class belongs to (L3 counts as CPU
+ *  or GPU depending on the original requester; bare L3/memory classes are
+ *  attributed to CPU by convention and carry no DBA weight). */
+inline CoreType
+coreTypeOf(MsgClass c)
+{
+    switch (c) {
+      case MsgClass::ReqCpuL1I:
+      case MsgClass::ReqCpuL1D:
+      case MsgClass::ReqCpuL2Up:
+      case MsgClass::ReqCpuL2Down:
+      case MsgClass::RespCpuL1I:
+      case MsgClass::RespCpuL1D:
+      case MsgClass::RespCpuL2Up:
+      case MsgClass::RespCpuL2Down:
+      case MsgClass::ReqL3:
+      case MsgClass::RespL3:
+        return CoreType::CPU;
+      default:
+        return CoreType::GPU;
+    }
+}
+
+/** Human-readable class name (used in tables and feature dumps). */
+inline const char *
+toString(MsgClass c)
+{
+    switch (c) {
+      case MsgClass::ReqCpuL1I: return "Request CPU L1 instruction";
+      case MsgClass::ReqCpuL1D: return "Request CPU L1 data";
+      case MsgClass::ReqCpuL2Up: return "Request CPU L2 up";
+      case MsgClass::ReqCpuL2Down: return "Request CPU L2 down";
+      case MsgClass::ReqGpuL1: return "Request GPU L1";
+      case MsgClass::ReqGpuL2Up: return "Request GPU L2 up";
+      case MsgClass::ReqGpuL2Down: return "Request GPU L2 down";
+      case MsgClass::ReqL3: return "Request L3";
+      case MsgClass::RespCpuL1I: return "Response CPU L1 instruction";
+      case MsgClass::RespCpuL1D: return "Response CPU L1 data";
+      case MsgClass::RespCpuL2Up: return "Response CPU L2 up";
+      case MsgClass::RespCpuL2Down: return "Response CPU L2 down";
+      case MsgClass::RespGpuL1: return "Response GPU L1";
+      case MsgClass::RespGpuL2Up: return "Response GPU L2 up";
+      case MsgClass::RespGpuL2Down: return "Response GPU L2 down";
+      case MsgClass::RespL3: return "Response L3";
+      default: return "<invalid>";
+    }
+}
+
+/** Flit size in bits — one buffer slot holds one flit (Section IV). */
+constexpr int kFlitBits = 128;
+
+/** Control/request packet: a single 128-bit flit. */
+constexpr int kRequestBits = kFlitBits;
+
+/** Data/response packet: 128-bit header + 512-bit cache line = 5 flits. */
+constexpr int kResponseBits = kFlitBits + 512;
+
+/** Number of flits needed to carry `bits` of payload. */
+inline int
+flitsFor(int bits)
+{
+    return (bits + kFlitBits - 1) / kFlitBits;
+}
+
+/**
+ * Coherence operation a packet carries.  The MsgClass gives the Table III
+ * accounting label; the op tells the receiving cache model what to do.
+ */
+enum class CoherenceOp : std::uint8_t
+{
+    Read = 0,    //!< read request (load miss)
+    ReadExcl,    //!< read-for-ownership (store miss / upgrade)
+    Writeback,   //!< dirty eviction carrying data
+    ProbeShare,  //!< directory asks owner to demote and supply data
+    ProbeInv,    //!< directory asks holder to invalidate
+    Data,        //!< data response, shared grant
+    DataExcl,    //!< data response, exclusive grant
+    Ack          //!< dataless acknowledgement (probe ack, inv ack)
+};
+
+inline const char *
+toString(CoherenceOp op)
+{
+    switch (op) {
+      case CoherenceOp::Read: return "Read";
+      case CoherenceOp::ReadExcl: return "ReadExcl";
+      case CoherenceOp::Writeback: return "Writeback";
+      case CoherenceOp::ProbeShare: return "ProbeShare";
+      case CoherenceOp::ProbeInv: return "ProbeInv";
+      case CoherenceOp::Data: return "Data";
+      case CoherenceOp::DataExcl: return "DataExcl";
+      case CoherenceOp::Ack: return "Ack";
+      default: return "<invalid>";
+    }
+}
+
+/** True when the op carries a full cache line (sized kResponseBits). */
+inline bool
+carriesData(CoherenceOp op)
+{
+    return op == CoherenceOp::Writeback || op == CoherenceOp::Data ||
+           op == CoherenceOp::DataExcl;
+}
+
+/**
+ * Which functional unit at the destination node consumes the packet.  A
+ * cluster router hosts both the cluster's L2s and an L3 bank slice; the
+ * MC node hosts the memory controllers.
+ */
+enum class NodeUnit : std::uint8_t
+{
+    Cluster = 0, //!< the cluster's cache hierarchy (fills, probes)
+    L3Bank,      //!< the L3 bank + directory slice at the router
+    Memory       //!< the memory-controller node
+};
+
+/**
+ * A network packet.  Packets are value types; the network models move them
+ * by value through buffers and record timing in the cycle fields.
+ */
+struct Packet
+{
+    std::uint64_t id = 0;          //!< unique per run
+    MsgClass msgClass = MsgClass::ReqCpuL1D;
+    CoherenceOp op = CoherenceOp::Read;
+    NodeUnit dstUnit = NodeUnit::Cluster;
+    NodeId src = 0;                //!< source router
+    NodeId dst = 0;                //!< destination router
+    int sizeBits = kRequestBits;   //!< payload size
+    Cycle cycleCreated = 0;        //!< when the producing model created it
+    Cycle cycleInjected = 0;       //!< when it entered a router buffer
+    Cycle cycleDelivered = 0;      //!< when the last flit reached dst
+    std::uint64_t addr = 0;        //!< cache-line address (coherence)
+    std::uint64_t reqId = 0;       //!< id of the request this responds to
+
+    int numFlits() const { return flitsFor(sizeBits); }
+    CoreType coreType() const { return coreTypeOf(msgClass); }
+    bool request() const { return isRequest(msgClass); }
+
+    /** End-to-end latency in cycles; only valid after delivery. */
+    Cycle
+    latency() const
+    {
+        PEARL_ASSERT(cycleDelivered >= cycleCreated);
+        return cycleDelivered - cycleCreated;
+    }
+};
+
+} // namespace sim
+} // namespace pearl
+
+#endif // PEARL_SIM_PACKET_HPP

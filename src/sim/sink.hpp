@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Packet sink: how cache models hand packets to the interconnect.
+ *
+ * Cluster and L3 models emit network-bound packets through this interface;
+ * the system driver queues them in per-node outboxes and injects them into
+ * whichever Network implementation is under test.
+ */
+
+#ifndef PEARL_SIM_SINK_HPP
+#define PEARL_SIM_SINK_HPP
+
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace sim {
+
+/** Consumer of network-bound packets produced by node models. */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+
+    /** Queue `pkt` for injection at `pkt.src`. */
+    virtual void send(Packet &&pkt) = 0;
+};
+
+} // namespace sim
+} // namespace pearl
+
+#endif // PEARL_SIM_SINK_HPP

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Network-level statistics: throughput, latency, per-class counts.
+ */
+
+#ifndef PEARL_SIM_STATS_HPP
+#define PEARL_SIM_STATS_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/reservoir.hpp"
+#include "common/stats.hpp"
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace sim {
+
+/** Aggregate statistics every Network implementation maintains. */
+class NetworkStats
+{
+  public:
+    /** Record a successful injection. */
+    void
+    noteInjected(const Packet &pkt)
+    {
+        ++injectedPackets_;
+        injectedFlits_ += static_cast<std::uint64_t>(pkt.numFlits());
+        ++classInjected_[static_cast<int>(pkt.msgClass)];
+    }
+
+    /** Record a delivery (pkt.cycleDelivered must be set). */
+    void
+    noteDelivered(const Packet &pkt)
+    {
+        ++deliveredPackets_;
+        deliveredFlits_ += static_cast<std::uint64_t>(pkt.numFlits());
+        deliveredBits_ += static_cast<std::uint64_t>(pkt.sizeBits);
+        latency_.add(static_cast<double>(pkt.latency()));
+        latencySample_.add(static_cast<double>(pkt.latency()));
+        ++classDelivered_[static_cast<int>(pkt.msgClass)];
+        classLatency_[static_cast<int>(pkt.msgClass)].add(
+            static_cast<double>(pkt.latency()));
+        if (pkt.coreType() == CoreType::CPU) {
+            ++cpuDelivered_;
+            cpuLatency_.add(static_cast<double>(pkt.latency()));
+        } else {
+            ++gpuDelivered_;
+            gpuLatency_.add(static_cast<double>(pkt.latency()));
+        }
+    }
+
+    std::uint64_t injectedPackets() const { return injectedPackets_; }
+    std::uint64_t injectedFlits() const { return injectedFlits_; }
+    std::uint64_t deliveredPackets() const { return deliveredPackets_; }
+    std::uint64_t deliveredFlits() const { return deliveredFlits_; }
+    std::uint64_t deliveredBits() const { return deliveredBits_; }
+    std::uint64_t cpuDeliveredPackets() const { return cpuDelivered_; }
+    std::uint64_t gpuDeliveredPackets() const { return gpuDelivered_; }
+
+    std::uint64_t
+    classInjected(MsgClass c) const
+    {
+        return classInjected_[static_cast<int>(c)];
+    }
+
+    std::uint64_t
+    classDelivered(MsgClass c) const
+    {
+        return classDelivered_[static_cast<int>(c)];
+    }
+
+    /** Average end-to-end packet latency in cycles. */
+    double avgLatency() const { return latency_.mean(); }
+
+    /** Average latency of one core type's packets. */
+    double
+    avgLatency(CoreType t) const
+    {
+        return t == CoreType::CPU ? cpuLatency_.mean()
+                                  : gpuLatency_.mean();
+    }
+
+    /** Average latency of one message class's packets. */
+    double
+    avgClassLatency(MsgClass c) const
+    {
+        return classLatency_[static_cast<int>(c)].mean();
+    }
+
+    const RunningStat &latencyStat() const { return latency_; }
+
+    /** Latency percentile estimate (reservoir-sampled), cycles. */
+    double
+    latencyQuantile(double q) const
+    {
+        return latencySample_.quantile(q);
+    }
+
+    /** Delivered flits per cycle over `cycles` elapsed cycles. */
+    double
+    throughputFlitsPerCycle(Cycle cycles) const
+    {
+        return cycles ? static_cast<double>(deliveredFlits_) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Delivered bits per cycle over `cycles` elapsed cycles. */
+    double
+    throughputBitsPerCycle(Cycle cycles) const
+    {
+        return cycles ? static_cast<double>(deliveredBits_) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    void
+    reset()
+    {
+        injectedPackets_ = injectedFlits_ = 0;
+        deliveredPackets_ = deliveredFlits_ = deliveredBits_ = 0;
+        cpuDelivered_ = gpuDelivered_ = 0;
+        latency_.reset();
+        latencySample_.reset();
+        cpuLatency_.reset();
+        gpuLatency_.reset();
+        for (auto &stat : classLatency_)
+            stat.reset();
+        classInjected_.fill(0);
+        classDelivered_.fill(0);
+    }
+
+  private:
+    std::uint64_t injectedPackets_ = 0;
+    std::uint64_t injectedFlits_ = 0;
+    std::uint64_t deliveredPackets_ = 0;
+    std::uint64_t deliveredFlits_ = 0;
+    std::uint64_t deliveredBits_ = 0;
+    std::uint64_t cpuDelivered_ = 0;
+    std::uint64_t gpuDelivered_ = 0;
+    RunningStat latency_;
+    ReservoirSampler latencySample_;
+    RunningStat cpuLatency_;
+    RunningStat gpuLatency_;
+    std::array<RunningStat, kNumMsgClasses> classLatency_;
+    std::array<std::uint64_t, kNumMsgClasses> classInjected_ = {};
+    std::array<std::uint64_t, kNumMsgClasses> classDelivered_ = {};
+};
+
+} // namespace sim
+} // namespace pearl
+
+#endif // PEARL_SIM_STATS_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-router, per-reservation-window telemetry.
+ *
+ * These counters are exactly the information the paper says is already
+ * present at each router (Section III-D2): input-buffer occupancies, link
+ * utilization, packet counts by direction and by Table III class, and the
+ * current wavelength state.  The ML feature extractor turns one
+ * RouterTelemetry snapshot into one 30-feature vector; the label for the
+ * *previous* window is this window's `packetsInjected`.
+ */
+
+#ifndef PEARL_SIM_TELEMETRY_HPP
+#define PEARL_SIM_TELEMETRY_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace sim {
+
+/** Counters a router accumulates over one reservation window. */
+struct RouterTelemetry
+{
+    // Occupancy integrals: sum over the window's cycles of the occupancy
+    // fraction in [0,1]; divide by window length for the mean.
+    double cpuCoreBufOccupancy = 0.0;    //!< feature 2
+    double otherRouterCpuBufOccupancy = 0.0; //!< feature 3
+    double gpuCoreBufOccupancy = 0.0;    //!< feature 4
+    double otherRouterGpuBufOccupancy = 0.0; //!< feature 5
+
+    std::uint64_t linkBusyCycles = 0;    //!< feature 6 (outgoing link)
+    std::uint64_t packetsToCore = 0;     //!< feature 7 (ejected locally)
+    std::uint64_t incomingFromRouters = 0; //!< feature 8
+    std::uint64_t incomingFromCores = 0; //!< feature 9
+
+    std::uint64_t requestsSent = 0;      //!< feature 10
+    std::uint64_t requestsReceived = 0;  //!< feature 11
+    std::uint64_t responsesSent = 0;     //!< feature 12
+    std::uint64_t responsesReceived = 0; //!< feature 13
+
+    /** Features 14-29: per-MsgClass packets moving through the router. */
+    std::array<std::uint64_t, kNumMsgClasses> classCounts = {};
+
+    int wavelengths = 64;                //!< feature 30 (state this window)
+
+    /** Packets injected into this router during the window (the label). */
+    std::uint64_t packetsInjected = 0;
+
+    /** Count a packet passing through, by its Table III class. */
+    void
+    noteClass(MsgClass c)
+    {
+        ++classCounts[static_cast<int>(c)];
+    }
+
+    void
+    reset()
+    {
+        *this = RouterTelemetry{};
+    }
+};
+
+} // namespace sim
+} // namespace pearl
+
+#endif // PEARL_SIM_TELEMETRY_HPP

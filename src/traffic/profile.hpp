@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic benchmark profiles.
+ *
+ * The paper drives its network with traces captured from Multi2Sim running
+ * PARSEC/SPLASH2 (CPU) and OpenCL SDK (GPU) benchmarks.  Those traces are
+ * not available, so each benchmark is modelled as a *profile*: a small set
+ * of statistical parameters that reproduce the properties the network and
+ * the ML predictor actually react to — injection rate, burstiness
+ * (Markov-modulated on/off, the paper's "bursty nature of GPU traffic"),
+ * working-set size (which sets cache hit rates), read/write and
+ * instruction mixes, and the degree of data sharing (which drives
+ * coherence traffic).  See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef PEARL_TRAFFIC_PROFILE_HPP
+#define PEARL_TRAFFIC_PROFILE_HPP
+
+#include <string>
+
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace traffic {
+
+/** Statistical description of one benchmark's per-core memory demand. */
+struct BenchmarkProfile
+{
+    std::string name;          //!< full benchmark name (Table IV)
+    std::string abbrev;        //!< short label used in figures
+    sim::CoreType coreType = sim::CoreType::CPU;
+
+    /**
+     * Probability that a core issues a memory access in a network cycle
+     * while in the ON phase of the burst process.  CPU cores run at twice
+     * the network clock, so values may exceed what a 1-IPC core could do
+     * at the network clock.
+     */
+    double accessRateOn = 0.1;
+
+    /** Access probability in the OFF (quiet) phase. */
+    double accessRateOff = 0.01;
+
+    /** Markov burst process: P(ON -> OFF) per cycle. */
+    double pOnToOff = 0.01;
+
+    /** Markov burst process: P(OFF -> ON) per cycle. */
+    double pOffToOn = 0.01;
+
+    /** Working-set size in cache lines (sets the miss rates). */
+    std::uint64_t workingSetLines = 4096;
+
+    /** Fraction of accesses that are instruction fetches (CPU only). */
+    double instrFraction = 0.25;
+
+    /** Fraction of data accesses that are writes. */
+    double writeFraction = 0.3;
+
+    /**
+     * Fraction of accesses that touch the globally shared region (drives
+     * cross-cluster coherence: probes, ownership transfers).
+     */
+    double sharedFraction = 0.1;
+
+    /**
+     * Fraction of accesses that are sequential (streaming) rather than
+     * uniform-random within the working set.
+     */
+    double streamFraction = 0.5;
+
+    /** Expected burstiness: long-run fraction of time in ON phase. */
+    double
+    onFraction() const
+    {
+        const double denom = pOnToOff + pOffToOn;
+        return denom > 0.0 ? pOffToOn / denom : 1.0;
+    }
+
+    /** Long-run mean access probability per network cycle. */
+    double
+    meanAccessRate() const
+    {
+        const double f = onFraction();
+        return f * accessRateOn + (1.0 - f) * accessRateOff;
+    }
+};
+
+} // namespace traffic
+} // namespace pearl
+
+#endif // PEARL_TRAFFIC_PROFILE_HPP

@@ -1,0 +1,170 @@
+#include "traffic/suite.hpp"
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace traffic {
+
+namespace {
+
+BenchmarkProfile
+cpuProfile(const std::string &name, const std::string &abbrev,
+           double rate_on, double rate_off, double p_on_off, double p_off_on,
+           std::uint64_t ws_lines, double instr, double write, double shared,
+           double stream)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.abbrev = abbrev;
+    p.coreType = sim::CoreType::CPU;
+    p.accessRateOn = rate_on;
+    p.accessRateOff = rate_off;
+    p.pOnToOff = p_on_off;
+    p.pOffToOn = p_off_on;
+    p.workingSetLines = ws_lines;
+    p.instrFraction = instr;
+    p.writeFraction = write;
+    p.sharedFraction = shared;
+    p.streamFraction = stream;
+    return p;
+}
+
+BenchmarkProfile
+gpuProfile(const std::string &name, const std::string &abbrev,
+           double rate_on, double rate_off, double p_on_off, double p_off_on,
+           std::uint64_t ws_lines, double write, double shared, double stream)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.abbrev = abbrev;
+    p.coreType = sim::CoreType::GPU;
+    p.accessRateOn = rate_on;
+    p.accessRateOff = rate_off;
+    p.pOnToOff = p_on_off;
+    p.pOffToOn = p_off_on;
+    p.workingSetLines = ws_lines;
+    p.instrFraction = 0.0; // GPU CUs have a unified L1 in this model
+    p.writeFraction = write;
+    p.sharedFraction = shared;
+    p.streamFraction = stream;
+    return p;
+}
+
+} // namespace
+
+BenchmarkSuite::BenchmarkSuite()
+{
+    // CPU profiles.  The four Table IV test benchmarks first; the other
+    // eight are training/validation stand-ins for the remaining PARSEC /
+    // SPLASH2 programs.  Rates are per network cycle per core while ON.
+    // CPU traffic is comparatively steady (mild bursts), with working
+    // sets chosen so memory-intensive programs thrash the 256 kB L2
+    // (4096 lines) while compute-bound ones mostly hit.
+    cpu_ = {
+        cpuProfile("Fluid Animate", "FA",
+                   0.0252, 0.0024, 0.00012, 0.00015, 12288, 0.22, 0.35, 0.12, 0.6),
+        cpuProfile("Fast Multipole Method", "fmm",
+                   0.0202, 0.0018, 0.00009, 0.00012, 6144, 0.25, 0.25, 0.18, 0.4),
+        cpuProfile("Radiosity", "Rad",
+                   0.0168, 0.0015, 0.00015, 0.00015, 4096, 0.28, 0.30, 0.22, 0.3),
+        cpuProfile("x264", "x264",
+                   0.0294, 0.0030, 0.00018, 0.00021, 16384, 0.20, 0.40, 0.08, 0.7),
+        cpuProfile("Blackscholes", "BS",
+                   0.0101, 0.0009, 0.00006, 0.00009, 1536, 0.30, 0.20, 0.04, 0.8),
+        cpuProfile("Bodytrack", "BT",
+                   0.0210, 0.0021, 0.00012, 0.00012, 8192, 0.24, 0.30, 0.15, 0.5),
+        cpuProfile("Canneal", "CN",
+                   0.0336, 0.0036, 0.00009, 0.00012, 24576, 0.18, 0.45, 0.10, 0.1),
+        cpuProfile("Streamcluster", "SC",
+                   0.0273, 0.0027, 0.00012, 0.00015, 16384, 0.20, 0.15, 0.20, 0.9),
+        cpuProfile("Barnes", "Barnes",
+                   0.0185, 0.0018, 0.00015, 0.00018, 5120, 0.26, 0.28, 0.25, 0.3),
+        cpuProfile("FFT", "FFT",
+                   0.0231, 0.0024, 0.00006, 0.00009, 10240, 0.22, 0.35, 0.12, 0.8),
+        cpuProfile("LU Decomposition", "LU",
+                   0.0210, 0.0021, 0.00009, 0.00012, 7168, 0.24, 0.38, 0.14, 0.6),
+        cpuProfile("Ocean", "Ocean",
+                   0.0294, 0.0030, 0.00012, 0.00012, 12288, 0.21, 0.42, 0.16, 0.7),
+    };
+
+    // GPU profiles: strongly bursty (long ON bursts of dense memory
+    // traffic separated by compute phases), higher write-back volume,
+    // large streaming working sets against a 512 kB L2 (8192 lines).
+    gpu_ = {
+        gpuProfile("Discrete Cosine Transforms", "DCT",
+                   0.1176, 0.0009, 0.00018, 0.00009, 3072, 0.40, 0.05, 0.8),
+        gpuProfile("1-D Haar Wavelet Transform", "Dwrt",
+                   0.1008, 0.0009, 0.00024, 0.00012, 2048, 0.35, 0.04, 0.9),
+        gpuProfile("Quasi Random Sequence", "QRS",
+                   0.0756, 0.0006, 0.00030, 0.00012, 1024, 0.50, 0.02, 0.5),
+        gpuProfile("Reduction", "Reduc",
+                   0.1344, 0.0012, 0.00015, 0.00009, 4096, 0.30, 0.06, 0.9),
+        gpuProfile("Matrix Multiplication", "MM",
+                   0.1260, 0.0009, 0.00012, 0.00009, 6144, 0.25, 0.05, 0.7),
+        gpuProfile("Histogram", "HG",
+                   0.0924, 0.0009, 0.00021, 0.00012, 1536, 0.55, 0.08, 0.4),
+        gpuProfile("Bitonic Sort", "BSort",
+                   0.1092, 0.0009, 0.00018, 0.00009, 3072, 0.45, 0.04, 0.6),
+        gpuProfile("Floyd Warshall", "FW",
+                   0.1176, 0.0012, 0.00015, 0.00009, 4096, 0.40, 0.10, 0.5),
+        gpuProfile("Binomial Option", "BO",
+                   0.0672, 0.0006, 0.00027, 0.00012, 768, 0.35, 0.03, 0.6),
+        gpuProfile("Convolution", "CV",
+                   0.1218, 0.0009, 0.00015, 0.00009, 2560, 0.38, 0.05, 0.8),
+        gpuProfile("Prefix Sum", "PS",
+                   0.0840, 0.0009, 0.00024, 0.00012, 1280, 0.42, 0.04, 0.9),
+        gpuProfile("Monte Carlo", "MC",
+                   0.0588, 0.0006, 0.00030, 0.00015, 512, 0.20, 0.02, 0.3),
+    };
+}
+
+const BenchmarkProfile &
+BenchmarkSuite::find(const std::string &abbrev) const
+{
+    for (const auto &p : cpu_) {
+        if (p.abbrev == abbrev)
+            return p;
+    }
+    for (const auto &p : gpu_) {
+        if (p.abbrev == abbrev)
+            return p;
+    }
+    fatal("unknown benchmark abbreviation: ", abbrev);
+}
+
+std::vector<BenchmarkPair>
+BenchmarkSuite::cross(const std::vector<std::string> &cpus,
+                      const std::vector<std::string> &gpus) const
+{
+    std::vector<BenchmarkPair> pairs;
+    pairs.reserve(cpus.size() * gpus.size());
+    for (const auto &c : cpus) {
+        for (const auto &g : gpus) {
+            pairs.push_back(BenchmarkPair{find(c), find(g)});
+        }
+    }
+    return pairs;
+}
+
+std::vector<BenchmarkPair>
+BenchmarkSuite::trainingPairs() const
+{
+    return cross({"BS", "BT", "CN", "SC", "FFT", "Ocean"},
+                 {"MM", "HG", "BSort", "FW", "CV", "PS"});
+}
+
+std::vector<BenchmarkPair>
+BenchmarkSuite::validationPairs() const
+{
+    return cross({"Barnes", "LU"}, {"BO", "MC"});
+}
+
+std::vector<BenchmarkPair>
+BenchmarkSuite::testPairs() const
+{
+    return cross({"FA", "fmm", "Rad", "x264"},
+                 {"DCT", "Dwrt", "QRS", "Reduc"});
+}
+
+} // namespace traffic
+} // namespace pearl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The benchmark suite: 12 CPU + 12 GPU profiles and the paper's
+ * train / validation / test pairing (Section IV-A).
+ *
+ * The four CPU and four GPU *test* benchmarks are exactly the ones named
+ * in Table IV (FA, fmm, Rad, x264 / DCT, Dwrt, QRS, Reduc); the remaining
+ * named profiles stand in for the unnamed training and validation
+ * benchmarks from PARSEC 2.1, SPLASH2 and the OpenCL SDK.
+ */
+
+#ifndef PEARL_TRAFFIC_SUITE_HPP
+#define PEARL_TRAFFIC_SUITE_HPP
+
+#include <vector>
+
+#include "traffic/profile.hpp"
+
+namespace pearl {
+namespace traffic {
+
+/** A CPU benchmark running simultaneously with a GPU benchmark. */
+struct BenchmarkPair
+{
+    BenchmarkProfile cpu;
+    BenchmarkProfile gpu;
+
+    std::string
+    label() const
+    {
+        return cpu.abbrev + "+" + gpu.abbrev;
+    }
+};
+
+/** Registry of all profiles and the train/val/test splits. */
+class BenchmarkSuite
+{
+  public:
+    BenchmarkSuite();
+
+    /** All 12 CPU profiles. */
+    const std::vector<BenchmarkProfile> &cpuBenchmarks() const
+    {
+        return cpu_;
+    }
+
+    /** All 12 GPU profiles. */
+    const std::vector<BenchmarkProfile> &gpuBenchmarks() const
+    {
+        return gpu_;
+    }
+
+    /** Look up a profile by abbreviation; fatal if unknown. */
+    const BenchmarkProfile &find(const std::string &abbrev) const;
+
+    /** 6 CPU x 6 GPU = 36 training pairs. */
+    std::vector<BenchmarkPair> trainingPairs() const;
+
+    /** 2 CPU x 2 GPU = 4 validation pairs (for tuning lambda). */
+    std::vector<BenchmarkPair> validationPairs() const;
+
+    /** 4 CPU x 4 GPU = 16 test pairs (Table IV benchmarks). */
+    std::vector<BenchmarkPair> testPairs() const;
+
+  private:
+    std::vector<BenchmarkPair> cross(const std::vector<std::string> &cpus,
+                                     const std::vector<std::string> &gpus)
+        const;
+
+    std::vector<BenchmarkProfile> cpu_;
+    std::vector<BenchmarkProfile> gpu_;
+};
+
+} // namespace traffic
+} // namespace pearl
+
+#endif // PEARL_TRAFFIC_SUITE_HPP

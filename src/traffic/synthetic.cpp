@@ -1,0 +1,110 @@
+#include "traffic/synthetic.hpp"
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace traffic {
+
+const char *
+toString(Pattern p)
+{
+    switch (p) {
+      case Pattern::UniformRandom: return "uniform-random";
+      case Pattern::Transpose: return "transpose";
+      case Pattern::BitComplement: return "bit-complement";
+      case Pattern::Hotspot: return "hotspot";
+      case Pattern::Neighbor: return "neighbor";
+      default: return "<invalid>";
+    }
+}
+
+SyntheticInjector::SyntheticInjector(const SyntheticConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      backlog_(static_cast<std::size_t>(cfg.numSources)),
+      credit_(static_cast<std::size_t>(cfg.numSources), 0.0)
+{
+    PEARL_ASSERT(cfg_.numSources > 1);
+    PEARL_ASSERT(cfg_.numNodes >= cfg_.numSources);
+    PEARL_ASSERT(cfg_.flitsPerSourcePerCycle >= 0.0);
+}
+
+int
+SyntheticInjector::destination(int src, Rng &rng) const
+{
+    switch (cfg_.pattern) {
+      case Pattern::UniformRandom: {
+        int dst = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(cfg_.numSources - 1)));
+        if (dst >= src)
+            ++dst;
+        return dst;
+      }
+      case Pattern::Transpose: {
+        // 4x4 grid transpose; fixed points route to their complement so
+        // they still load the network.
+        const int x = src % 4, y = src / 4;
+        const int dst = x * 4 + y;
+        return dst == src ? (~src & 0xF) : dst;
+      }
+      case Pattern::BitComplement:
+        return (~src) & (cfg_.numSources - 1);
+      case Pattern::Hotspot:
+        return cfg_.hotspotNode;
+      case Pattern::Neighbor:
+        return (src + 1) % cfg_.numSources;
+      default:
+        panic("invalid pattern");
+    }
+}
+
+void
+SyntheticInjector::step(sim::Network &network)
+{
+    const sim::Cycle now = network.cycle();
+    for (int src = 0; src < cfg_.numSources; ++src) {
+        // Fractional flit budget; a packet is generated when the budget
+        // covers its flits.
+        auto &credit = credit_[static_cast<std::size_t>(src)];
+        credit += cfg_.flitsPerSourcePerCycle;
+
+        auto &queue = backlog_[static_cast<std::size_t>(src)];
+        while (true) {
+            const bool data = rng_.chance(cfg_.dataFraction);
+            const int flits = data ? 5 : 1;
+            if (credit < flits)
+                break;
+            credit -= flits;
+
+            sim::Packet pkt;
+            pkt.id = ++nextId_;
+            pkt.msgClass = data ? sim::MsgClass::RespGpuL2Down
+                                : sim::MsgClass::ReqCpuL2Down;
+            pkt.op = data ? sim::CoherenceOp::Data
+                          : sim::CoherenceOp::Read;
+            pkt.src = src;
+            pkt.dst = destination(src, rng_);
+            pkt.sizeBits = data ? sim::kResponseBits : sim::kRequestBits;
+            pkt.cycleCreated = now;
+            ++generated_;
+            queue.push_back(pkt);
+        }
+
+        while (!queue.empty() && network.inject(queue.front()))
+            queue.pop_front();
+    }
+
+    network.step();
+    network.delivered().clear();
+}
+
+std::size_t
+SyntheticInjector::backlogSize() const
+{
+    std::size_t total = 0;
+    for (const auto &queue : backlog_)
+        total += queue.size();
+    return total;
+}
+
+} // namespace traffic
+} // namespace pearl

@@ -1,0 +1,129 @@
+#include "traffic/trace.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace traffic {
+
+namespace {
+
+constexpr const char *kMagic = "pearl-trace-v1";
+
+} // namespace
+
+void
+TraceWriter::writeRecord(std::ostream &os, const TraceRecord &rec)
+{
+    const sim::Packet &p = rec.pkt;
+    os << rec.cycle << " " << p.id << " "
+       << static_cast<int>(p.msgClass) << " " << static_cast<int>(p.op)
+       << " " << static_cast<int>(p.dstUnit) << " " << p.src << " "
+       << p.dst << " " << p.sizeBits << " " << p.addr << "\n";
+}
+
+void
+TraceWriter::write(std::ostream &os, const Trace &trace)
+{
+    os << kMagic << " " << trace.records.size() << "\n";
+    for (const auto &rec : trace.records)
+        writeRecord(os, rec);
+}
+
+bool
+TraceReader::read(std::istream &is, Trace &trace)
+{
+    std::string magic;
+    std::size_t count = 0;
+    if (!(is >> magic >> count) || magic != kMagic)
+        return false;
+
+    trace.records.clear();
+    trace.records.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        TraceRecord rec;
+        int msg_class = 0, op = 0, dst_unit = 0;
+        if (!(is >> rec.cycle >> rec.pkt.id >> msg_class >> op >>
+              dst_unit >> rec.pkt.src >> rec.pkt.dst >>
+              rec.pkt.sizeBits >> rec.pkt.addr)) {
+            return false;
+        }
+        if (msg_class < 0 || msg_class >= sim::kNumMsgClasses ||
+            rec.pkt.sizeBits <= 0) {
+            return false;
+        }
+        rec.pkt.msgClass = static_cast<sim::MsgClass>(msg_class);
+        rec.pkt.op = static_cast<sim::CoherenceOp>(op);
+        rec.pkt.dstUnit = static_cast<sim::NodeUnit>(dst_unit);
+        rec.pkt.cycleCreated = rec.cycle;
+        trace.records.push_back(rec);
+        if (i > 0 &&
+            rec.cycle < trace.records[i - 1].cycle) {
+            warn("trace out of cycle order at record ", i);
+        }
+    }
+    return true;
+}
+
+TraceReplayDriver::TraceReplayDriver(sim::Network &network, Trace trace)
+    : network_(network), trace_(std::move(trace)),
+      backlog_(static_cast<std::size_t>(network.numNodes()))
+{
+    baseCycle_ = trace_.empty() ? 0 : trace_.records.front().cycle;
+}
+
+void
+TraceReplayDriver::step()
+{
+    // 1. Move newly-due records into their source's backlog so per-source
+    //    FIFO order is preserved under backpressure.
+    while (nextRecord_ < trace_.records.size() &&
+           trace_.records[nextRecord_].cycle - baseCycle_ <=
+               localCycle_) {
+        const TraceRecord &rec = trace_.records[nextRecord_];
+        sim::Packet pkt = rec.pkt;
+        pkt.cycleCreated = localCycle_;
+        PEARL_ASSERT(pkt.src >= 0 &&
+                     pkt.src < static_cast<int>(backlog_.size()),
+                     "trace source outside the network");
+        backlog_[static_cast<std::size_t>(pkt.src)].push_back(pkt);
+        ++nextRecord_;
+    }
+
+    // 2. Offer backlogged packets in order; stop per source on rejection.
+    for (auto &queue : backlog_) {
+        while (!queue.empty() && network_.inject(queue.front()))
+            queue.pop_front();
+    }
+
+    // 3. One network cycle; drain deliveries.
+    network_.step();
+    delivered_ += network_.delivered().size();
+    network_.delivered().clear();
+    ++localCycle_;
+}
+
+std::size_t
+TraceReplayDriver::pendingCount() const
+{
+    std::size_t pending = trace_.records.size() - nextRecord_;
+    for (const auto &queue : backlog_)
+        pending += queue.size();
+    return pending;
+}
+
+bool
+TraceReplayDriver::runToCompletion(sim::Cycle max_cycles)
+{
+    for (sim::Cycle i = 0; i < max_cycles; ++i) {
+        step();
+        if (pendingCount() == 0 && network_.idle())
+            return true;
+    }
+    return false;
+}
+
+} // namespace traffic
+} // namespace pearl

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Packet-trace recording and replay.
+ *
+ * The paper's methodology is trace-driven: network traffic is captured
+ * from a full-system simulator and replayed through the NoC under each
+ * configuration.  This module provides the same workflow for this
+ * repository: `TraceRecordingNetwork` wraps any sim::Network and records
+ * every accepted injection with its cycle stamp; `TraceWriter` /
+ * `TraceReader` persist traces as line-oriented text; `TraceReplayDriver`
+ * plays a trace into any network, retrying on backpressure, so the *same*
+ * offered traffic can be compared across PEARL and CMESH configurations.
+ */
+
+#ifndef PEARL_TRAFFIC_TRACE_HPP
+#define PEARL_TRAFFIC_TRACE_HPP
+
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace traffic {
+
+/** One trace entry: a packet and the cycle it was offered. */
+struct TraceRecord
+{
+    sim::Cycle cycle = 0;
+    sim::Packet pkt;
+};
+
+/** A recorded packet trace. */
+struct Trace
+{
+    std::vector<TraceRecord> records;
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+
+    /** Last offered cycle (0 when empty). */
+    sim::Cycle
+    lastCycle() const
+    {
+        return records.empty() ? 0 : records.back().cycle;
+    }
+};
+
+/** Serialise a trace as line-oriented text. */
+class TraceWriter
+{
+  public:
+    /** Write the full trace (header line + one line per record). */
+    static void write(std::ostream &os, const Trace &trace);
+
+    /** Append a single record in the same format. */
+    static void writeRecord(std::ostream &os, const TraceRecord &rec);
+};
+
+/** Parse a trace written by TraceWriter. */
+class TraceReader
+{
+  public:
+    /**
+     * @return true and fill `trace` on success; false on a malformed
+     *         stream (trace left in an unspecified state).
+     */
+    static bool read(std::istream &is, Trace &trace);
+};
+
+/**
+ * Decorator network that records every accepted injection.  All other
+ * calls forward to the wrapped network.
+ */
+class TraceRecordingNetwork : public sim::Network
+{
+  public:
+    explicit TraceRecordingNetwork(sim::Network &inner) : inner_(inner) {}
+
+    bool
+    inject(const sim::Packet &pkt) override
+    {
+        if (!inner_.inject(pkt))
+            return false;
+        TraceRecord rec;
+        rec.cycle = inner_.cycle();
+        rec.pkt = pkt;
+        trace_.records.push_back(rec);
+        return true;
+    }
+
+    bool
+    canInject(const sim::Packet &pkt) const override
+    {
+        return inner_.canInject(pkt);
+    }
+
+    void step() override { inner_.step(); }
+    std::vector<sim::Packet> &delivered() override
+    {
+        return inner_.delivered();
+    }
+    sim::Cycle cycle() const override { return inner_.cycle(); }
+    int numNodes() const override { return inner_.numNodes(); }
+    const sim::NetworkStats &stats() const override
+    {
+        return inner_.stats();
+    }
+    bool idle() const override { return inner_.idle(); }
+
+    const Trace &trace() const { return trace_; }
+    Trace takeTrace() { return std::move(trace_); }
+
+  private:
+    sim::Network &inner_;
+    Trace trace_;
+};
+
+/**
+ * Replays a trace into a network: packets are offered at their recorded
+ * cycles (shifted to the driver's cycle 0) and retried under
+ * backpressure, preserving per-source FIFO order.
+ */
+class TraceReplayDriver
+{
+  public:
+    /**
+     * @param network the network under test (not owned).
+     * @param trace   the trace to replay (copied).
+     */
+    TraceReplayDriver(sim::Network &network, Trace trace);
+
+    /** Advance one cycle: offer due packets, step the network.
+     *  Delivered packets are drained and counted automatically. */
+    void step();
+
+    /** Run until the whole trace is injected and delivered (or
+     *  `max_cycles` elapse).  @return true if fully drained. */
+    bool runToCompletion(sim::Cycle max_cycles);
+
+    /** Packets not yet accepted by the network. */
+    std::size_t pendingCount() const;
+
+    /** Packets delivered so far. */
+    std::uint64_t deliveredCount() const { return delivered_; }
+
+    sim::Network &network() { return network_; }
+
+  private:
+    sim::Network &network_;
+    Trace trace_;
+    std::size_t nextRecord_ = 0;   //!< first not-yet-offered record
+    sim::Cycle baseCycle_ = 0;     //!< trace cycle of the first record
+    std::vector<std::deque<sim::Packet>> backlog_; //!< per source node
+    std::uint64_t delivered_ = 0;
+    sim::Cycle localCycle_ = 0;
+};
+
+} // namespace traffic
+} // namespace pearl
+
+#endif // PEARL_TRAFFIC_TRACE_HPP

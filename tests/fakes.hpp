@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared test doubles: a capturing packet sink and small helpers used by
+ * the cluster / L3-bank / memory tests.
+ */
+
+#ifndef PEARL_TESTS_FAKES_HPP
+#define PEARL_TESTS_FAKES_HPP
+
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/sink.hpp"
+
+namespace pearl {
+namespace test {
+
+/** Records every packet a node model emits. */
+class CapturingSink : public sim::PacketSink
+{
+  public:
+    void
+    send(sim::Packet &&pkt) override
+    {
+        packets.push_back(std::move(pkt));
+    }
+
+    /** Packets matching an op, in emission order. */
+    std::vector<sim::Packet>
+    withOp(sim::CoherenceOp op) const
+    {
+        std::vector<sim::Packet> out;
+        for (const auto &p : packets) {
+            if (p.op == op)
+                out.push_back(p);
+        }
+        return out;
+    }
+
+    std::size_t
+    countOp(sim::CoherenceOp op) const
+    {
+        return withOp(op).size();
+    }
+
+    void clear() { packets.clear(); }
+
+    std::vector<sim::Packet> packets;
+};
+
+} // namespace test
+} // namespace pearl
+
+#endif // PEARL_TESTS_FAKES_HPP

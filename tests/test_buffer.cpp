@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the flit-slot-accounted buffers feeding the DBA occupancy
+ * computation (Equations 1-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/buffer.hpp"
+
+namespace pearl {
+namespace sim {
+namespace {
+
+Packet
+makePacket(int size_bits, MsgClass cls = MsgClass::ReqCpuL1D)
+{
+    Packet p;
+    p.sizeBits = size_bits;
+    p.msgClass = cls;
+    return p;
+}
+
+TEST(FlitBuffer, StartsEmpty)
+{
+    FlitBuffer buf(16);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.occupiedSlots(), 0);
+    EXPECT_EQ(buf.freeSlots(), 16);
+    EXPECT_DOUBLE_EQ(buf.occupancy(), 0.0);
+}
+
+TEST(FlitBuffer, PushAccountsFlits)
+{
+    FlitBuffer buf(16);
+    ASSERT_TRUE(buf.push(makePacket(kResponseBits))); // 5 flits
+    EXPECT_EQ(buf.occupiedSlots(), 5);
+    EXPECT_DOUBLE_EQ(buf.occupancy(), 5.0 / 16.0);
+    ASSERT_TRUE(buf.push(makePacket(kRequestBits))); // 1 flit
+    EXPECT_EQ(buf.occupiedSlots(), 6);
+    EXPECT_EQ(buf.packetCount(), 2u);
+}
+
+TEST(FlitBuffer, RejectsWhenFull)
+{
+    FlitBuffer buf(6);
+    ASSERT_TRUE(buf.push(makePacket(kResponseBits))); // 5
+    EXPECT_FALSE(buf.canAccept(5));
+    EXPECT_FALSE(buf.push(makePacket(kResponseBits)));
+    EXPECT_EQ(buf.occupiedSlots(), 5); // unchanged on failure
+    EXPECT_TRUE(buf.push(makePacket(kRequestBits))); // exactly fits
+    EXPECT_EQ(buf.freeSlots(), 0);
+}
+
+TEST(FlitBuffer, FifoOrder)
+{
+    FlitBuffer buf(16);
+    Packet a = makePacket(kRequestBits);
+    a.id = 1;
+    Packet b = makePacket(kRequestBits);
+    b.id = 2;
+    buf.push(a);
+    buf.push(b);
+    EXPECT_EQ(buf.pop().id, 1u);
+    EXPECT_EQ(buf.pop().id, 2u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(FlitBuffer, PopReleasesSlots)
+{
+    FlitBuffer buf(8);
+    buf.push(makePacket(kResponseBits));
+    buf.push(makePacket(kRequestBits));
+    buf.pop();
+    EXPECT_EQ(buf.occupiedSlots(), 1);
+    EXPECT_EQ(buf.freeSlots(), 7);
+}
+
+TEST(FlitBuffer, ClearEmpties)
+{
+    FlitBuffer buf(8);
+    buf.push(makePacket(kResponseBits));
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.occupiedSlots(), 0);
+}
+
+TEST(FlitBuffer, FullOccupancyIsOne)
+{
+    FlitBuffer buf(5);
+    buf.push(makePacket(kResponseBits));
+    EXPECT_DOUBLE_EQ(buf.occupancy(), 1.0);
+}
+
+TEST(DualClassBuffer, ClassesAreIndependent)
+{
+    DualClassBuffer dual(8, 8);
+    Packet cpu = makePacket(kResponseBits, MsgClass::ReqCpuL2Down);
+    Packet gpu = makePacket(kRequestBits, MsgClass::ReqGpuL2Down);
+    ASSERT_TRUE(dual.of(CoreType::CPU).push(cpu));
+    ASSERT_TRUE(dual.of(CoreType::GPU).push(gpu));
+    EXPECT_DOUBLE_EQ(dual.occupancy(CoreType::CPU), 5.0 / 8.0);
+    EXPECT_DOUBLE_EQ(dual.occupancy(CoreType::GPU), 1.0 / 8.0);
+}
+
+TEST(DualClassBuffer, TotalOccupancyIsSum)
+{
+    // Buf_omega = beta_CPU + beta_GPU (Eq. 3): ranges to 2.0.
+    DualClassBuffer dual(5, 5);
+    dual.of(CoreType::CPU).push(makePacket(kResponseBits));
+    dual.of(CoreType::GPU).push(makePacket(kResponseBits));
+    EXPECT_DOUBLE_EQ(dual.totalOccupancy(), 2.0);
+}
+
+TEST(DualClassBuffer, GpuCannotBlockCpu)
+{
+    // The paper's requirement: GPU traffic never occupies CPU slots.
+    DualClassBuffer dual(8, 5);
+    dual.of(CoreType::GPU).push(makePacket(kResponseBits));
+    EXPECT_FALSE(dual.of(CoreType::GPU).canAccept(5));
+    EXPECT_TRUE(dual.of(CoreType::CPU).canAccept(5));
+}
+
+TEST(DualClassBuffer, EmptyAndClear)
+{
+    DualClassBuffer dual(4, 4);
+    EXPECT_TRUE(dual.empty());
+    dual.of(CoreType::CPU).push(makePacket(kRequestBits));
+    EXPECT_FALSE(dual.empty());
+    dual.clear();
+    EXPECT_TRUE(dual.empty());
+}
+
+} // namespace
+} // namespace sim
+} // namespace pearl

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the generic set-associative cache array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hpp"
+
+namespace pearl {
+namespace cache {
+namespace {
+
+TEST(CacheArray, MissOnEmpty)
+{
+    CacheArray<> arr(64, 4);
+    EXPECT_EQ(arr.find(0x1234), nullptr);
+    EXPECT_EQ(arr.validLines(), 0u);
+}
+
+TEST(CacheArray, InstallThenFind)
+{
+    CacheArray<> arr(64, 4);
+    auto &victim = arr.victim(0x1234);
+    arr.install(victim, 0x1234, CacheState::E);
+    auto *line = arr.find(0x1234);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->tag, 0x1234u);
+    EXPECT_EQ(line->state, CacheState::E);
+    EXPECT_EQ(arr.validLines(), 1u);
+}
+
+TEST(CacheArray, GeometryChecks)
+{
+    CacheArray<> arr(128, 8);
+    EXPECT_EQ(arr.numSets(), 16u);
+    EXPECT_EQ(arr.ways(), 8);
+    EXPECT_EQ(arr.capacityLines(), 128u);
+}
+
+TEST(CacheArray, VictimPrefersInvalidWays)
+{
+    CacheArray<> arr(16, 4); // 4 sets
+    // Fill 3 of 4 ways in set 0.
+    for (std::uint64_t addr : {0ULL, 4ULL, 8ULL}) {
+        auto &v = arr.victim(addr);
+        EXPECT_FALSE(isValid(v.state));
+        arr.install(v, addr, CacheState::S);
+    }
+    // The next victim in set 0 must still be the remaining invalid way.
+    auto &v = arr.victim(12);
+    EXPECT_FALSE(isValid(v.state));
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray<> arr(8, 2); // 4 sets, 2 ways
+    // Two lines mapping to set 0 (addr % 4 == 0).
+    auto &v0 = arr.victim(0);
+    arr.install(v0, 0, CacheState::S);
+    auto &v4 = arr.victim(4);
+    arr.install(v4, 4, CacheState::S);
+    // Touch line 0 so line 4 is LRU.
+    arr.touch(*arr.find(0));
+    auto &victim = arr.victim(8);
+    EXPECT_EQ(victim.tag, 4u);
+}
+
+TEST(CacheArray, VictimWhereSkipsBusyLines)
+{
+    CacheArray<> arr(8, 2);
+    auto &v0 = arr.victim(0);
+    arr.install(v0, 0, CacheState::S);
+    auto &v4 = arr.victim(4);
+    arr.install(v4, 4, CacheState::S);
+    arr.touch(*arr.find(0)); // line 4 would be the LRU victim
+    auto &victim =
+        arr.victimWhere(8, [](std::uint64_t tag) { return tag == 4; });
+    EXPECT_EQ(victim.tag, 0u); // busy line 4 skipped
+}
+
+TEST(CacheArray, VictimWhereFallsBackWhenAllBusy)
+{
+    CacheArray<> arr(8, 2);
+    auto &v0 = arr.victim(0);
+    arr.install(v0, 0, CacheState::S);
+    auto &v4 = arr.victim(4);
+    arr.install(v4, 4, CacheState::S);
+    auto &victim = arr.victimWhere(8, [](std::uint64_t) { return true; });
+    EXPECT_TRUE(isValid(victim.state)); // still returns something
+}
+
+TEST(CacheArray, MetadataResetOnInstall)
+{
+    struct Meta
+    {
+        int value = 0;
+    };
+    CacheArray<Meta> arr(8, 2);
+    auto &v = arr.victim(3);
+    arr.install(v, 3, CacheState::M);
+    arr.find(3)->meta.value = 42;
+    // Reinstall a different line into the same way.
+    auto *line = arr.find(3);
+    line->state = CacheState::I;
+    auto &v2 = arr.victim(7);
+    arr.install(v2, 7, CacheState::S);
+    EXPECT_EQ(arr.find(7)->meta.value, 0);
+}
+
+TEST(CacheArray, SetIsolation)
+{
+    CacheArray<> arr(16, 4); // 4 sets
+    // Fill set 0 completely.
+    for (std::uint64_t addr : {0ULL, 4ULL, 8ULL, 12ULL}) {
+        auto &v = arr.victim(addr);
+        arr.install(v, addr, CacheState::S);
+    }
+    // Set 1 is untouched: its victim is invalid.
+    EXPECT_FALSE(isValid(arr.victim(1).state));
+    // All of set 0 findable.
+    for (std::uint64_t addr : {0ULL, 4ULL, 8ULL, 12ULL})
+        EXPECT_NE(arr.find(addr), nullptr);
+}
+
+TEST(CacheArray, ResetInvalidatesEverything)
+{
+    CacheArray<> arr(8, 2);
+    auto &v = arr.victim(1);
+    arr.install(v, 1, CacheState::M);
+    arr.reset();
+    EXPECT_EQ(arr.find(1), nullptr);
+    EXPECT_EQ(arr.validLines(), 0u);
+}
+
+TEST(CacheArray, InvalidLinesNotFound)
+{
+    CacheArray<> arr(8, 2);
+    auto &v = arr.victim(5);
+    arr.install(v, 5, CacheState::S);
+    arr.find(5)->state = CacheState::I;
+    EXPECT_EQ(arr.find(5), nullptr);
+}
+
+} // namespace
+} // namespace cache
+} // namespace pearl

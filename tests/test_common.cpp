@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the common utilities: RNG, statistics, tables, units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/reservoir.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace pearl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsDecorrelated)
+{
+    Rng parent(21);
+    Rng a = parent.fork();
+    Rng b = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, GeometricMeanRoughlyInverseP)
+{
+    Rng rng(31);
+    double total = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(rng.geometric(0.25));
+    EXPECT_NEAR(total / n, 4.0, 0.25);
+}
+
+TEST(RunningStat, MeanVarianceMinMax)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(DiscreteHistogram, FractionsSumToOne)
+{
+    DiscreteHistogram h;
+    h.add(0, 10);
+    h.add(1, 30);
+    h.add(4, 60);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.10);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.30);
+    EXPECT_DOUBLE_EQ(h.fraction(4), 0.60);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+}
+
+TEST(DiscreteHistogram, EmptyFractionIsZero)
+{
+    DiscreteHistogram h;
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+}
+
+TEST(CounterGroup, IndexingAndReset)
+{
+    CounterGroup g({"a", "b", "c"});
+    g[0] = 5;
+    g[2] += 7;
+    EXPECT_EQ(g[0], 5u);
+    EXPECT_EQ(g[1], 0u);
+    EXPECT_EQ(g[2], 7u);
+    EXPECT_EQ(g.name(1), "b");
+    g.reset();
+    EXPECT_EQ(g[0], 0u);
+    EXPECT_EQ(g[2], 0u);
+}
+
+TEST(Units, DbRoundTrip)
+{
+    for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 20.0}) {
+        EXPECT_NEAR(units::linearToDb(units::dbToLinear(db)), db, 1e-9);
+    }
+}
+
+TEST(Units, DbmToWatts)
+{
+    EXPECT_NEAR(units::dbmToWatts(0.0), 1e-3, 1e-12);
+    EXPECT_NEAR(units::dbmToWatts(30.0), 1.0, 1e-9);
+    EXPECT_NEAR(units::dbmToWatts(-15.0), 31.622776e-6, 1e-9);
+}
+
+TEST(Units, TenDbIsFactorTen)
+{
+    EXPECT_NEAR(units::dbToLinear(10.0), 10.0, 1e-12);
+    EXPECT_NEAR(units::dbToLinear(3.0), 1.9952623, 1e-6);
+}
+
+TEST(Units, CyclesFor)
+{
+    // 2 ns at 2 GHz = 4 cycles.
+    EXPECT_EQ(units::cyclesFor(2e-9, 2e9), 4u);
+    EXPECT_EQ(units::cyclesFor(0.4e-9, 2e9), 1u);
+}
+
+TEST(TextTable, AlignsAndPreservesCells)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows().size(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.345, 1), "34.5%");
+}
+
+TEST(Reservoir, ExactForSmallStreams)
+{
+    ReservoirSampler r(128);
+    for (int i = 1; i <= 100; ++i)
+        r.add(static_cast<double>(i));
+    EXPECT_EQ(r.count(), 100u);
+    EXPECT_EQ(r.sampleSize(), 100u);
+    EXPECT_NEAR(r.median(), 50.5, 0.01);
+    EXPECT_NEAR(r.quantile(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(r.quantile(1.0), 100.0, 1e-12);
+}
+
+TEST(Reservoir, EmptyReturnsZero)
+{
+    ReservoirSampler r(16);
+    EXPECT_DOUBLE_EQ(r.median(), 0.0);
+    EXPECT_DOUBLE_EQ(r.p99(), 0.0);
+}
+
+TEST(Reservoir, ApproximatesLargeStreamQuantiles)
+{
+    // A uniform [0, 1000) stream: percentiles should land near the
+    // analytic values even through subsampling.
+    ReservoirSampler r(4096, 7);
+    Rng rng(5);
+    for (int i = 0; i < 200000; ++i)
+        r.add(rng.uniform() * 1000.0);
+    EXPECT_EQ(r.sampleSize(), 4096u);
+    EXPECT_NEAR(r.median(), 500.0, 40.0);
+    EXPECT_NEAR(r.p95(), 950.0, 40.0);
+    EXPECT_NEAR(r.p99(), 990.0, 15.0);
+}
+
+TEST(Reservoir, ResetClears)
+{
+    ReservoirSampler r(16);
+    r.add(5.0);
+    r.reset();
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_DOUBLE_EQ(r.median(), 0.0);
+}
+
+TEST(Reservoir, TailSensitivity)
+{
+    // 3% of the stream is a 100x outlier: p99 must see it, the median
+    // must not.
+    ReservoirSampler r(8192, 3);
+    Rng rng(9);
+    for (int i = 0; i < 100000; ++i)
+        r.add(rng.chance(0.03) ? 1000.0 : 10.0);
+    EXPECT_NEAR(r.median(), 10.0, 1e-9);
+    EXPECT_GT(r.p99(), 500.0);
+}
+
+} // namespace
+} // namespace pearl

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests of the Dynamic Bandwidth Allocator — Algorithm 1 steps 1-3
+ * verbatim, plus the proportional-quantised ablation mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dba.hpp"
+
+namespace pearl {
+namespace core {
+namespace {
+
+TEST(DbaLadder, CaseA_OnlyCpuTraffic)
+{
+    DynamicBandwidthAllocator dba;
+    const auto a = dba.allocate(/*cpu=*/0.5, /*gpu=*/0.0);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 1.0);
+    EXPECT_DOUBLE_EQ(a.gpuShare, 0.0);
+}
+
+TEST(DbaLadder, CaseB_OnlyGpuTraffic)
+{
+    DynamicBandwidthAllocator dba;
+    const auto a = dba.allocate(0.0, 0.5);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.0);
+    EXPECT_DOUBLE_EQ(a.gpuShare, 1.0);
+}
+
+TEST(DbaLadder, CaseC_LowGpuFavoursCpu)
+{
+    // GPU occupancy below its 6% upper bound: CPU gets 75%.
+    DynamicBandwidthAllocator dba;
+    const auto a = dba.allocate(0.30, 0.05);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.75);
+    EXPECT_DOUBLE_EQ(a.gpuShare, 0.25);
+}
+
+TEST(DbaLadder, CaseD_LowCpuFavoursGpu)
+{
+    // GPU above its bound, CPU below its 16% bound: GPU gets 75%.
+    DynamicBandwidthAllocator dba;
+    const auto a = dba.allocate(0.10, 0.50);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.25);
+    EXPECT_DOUBLE_EQ(a.gpuShare, 0.75);
+}
+
+TEST(DbaLadder, CaseE_BothBusyEvenSplit)
+{
+    DynamicBandwidthAllocator dba;
+    const auto a = dba.allocate(0.50, 0.50);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.50);
+    EXPECT_DOUBLE_EQ(a.gpuShare, 0.50);
+}
+
+TEST(DbaLadder, CpuConsideredFirstForThe75Share)
+{
+    // Both below their bounds: the CPU case (c) is evaluated first
+    // because of its latency sensitivity.
+    DynamicBandwidthAllocator dba;
+    const auto a = dba.allocate(0.05, 0.03);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.75);
+}
+
+TEST(DbaLadder, BothIdleFallsToEvenSplit)
+{
+    DynamicBandwidthAllocator dba;
+    const auto a = dba.allocate(0.0, 0.0);
+    // Neither case (a) nor (b) fires; GPU < bound -> case (c).
+    EXPECT_DOUBLE_EQ(a.cpuShare + a.gpuShare, 1.0);
+}
+
+TEST(DbaLadder, SharesAlwaysSumToOne)
+{
+    DynamicBandwidthAllocator dba;
+    for (double c = 0.0; c <= 1.0; c += 0.07) {
+        for (double g = 0.0; g <= 1.0; g += 0.07) {
+            const auto a = dba.allocate(c, g);
+            EXPECT_NEAR(a.cpuShare + a.gpuShare, 1.0, 1e-12);
+            EXPECT_GE(a.cpuShare, 0.0);
+            EXPECT_LE(a.cpuShare, 1.0);
+        }
+    }
+}
+
+TEST(DbaLadder, CustomBounds)
+{
+    DbaConfig cfg;
+    cfg.gpuUpperBound = 0.5;
+    DynamicBandwidthAllocator dba(cfg);
+    // GPU occupancy 0.4 < 0.5 bound: CPU still favoured.
+    const auto a = dba.allocate(0.3, 0.4);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.75);
+}
+
+TEST(DbaProportional, QuantisesToStep)
+{
+    DbaConfig cfg;
+    cfg.mode = DbaConfig::Mode::Proportional;
+    cfg.stepFraction = 0.25;
+    DynamicBandwidthAllocator dba(cfg);
+    const auto a = dba.allocate(0.6, 0.4); // raw 0.6 -> 0.5 at 25% steps
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.5);
+    const auto b = dba.allocate(0.9, 0.1); // raw 0.9 -> 1.0
+    EXPECT_DOUBLE_EQ(b.cpuShare, 1.0);
+}
+
+TEST(DbaProportional, FinerSteps)
+{
+    DbaConfig cfg;
+    cfg.mode = DbaConfig::Mode::Proportional;
+    cfg.stepFraction = 0.0625;
+    DynamicBandwidthAllocator dba(cfg);
+    const auto a = dba.allocate(0.6, 0.4);
+    EXPECT_NEAR(a.cpuShare, 0.625, 1e-12);
+}
+
+TEST(DbaProportional, IdleIsEven)
+{
+    DbaConfig cfg;
+    cfg.mode = DbaConfig::Mode::Proportional;
+    DynamicBandwidthAllocator dba(cfg);
+    const auto a = dba.allocate(0.0, 0.0);
+    EXPECT_DOUBLE_EQ(a.cpuShare, 0.5);
+}
+
+} // namespace
+} // namespace core
+} // namespace pearl

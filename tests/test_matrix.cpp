@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests of the dense-matrix substrate and the Cholesky solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/matrix.hpp"
+
+namespace pearl {
+namespace ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 1) = -2.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, Identity)
+{
+    Matrix id = Matrix::identity(3, 2.5);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(id(i, j), i == j ? 2.5 : 0.0);
+    }
+}
+
+TEST(Matrix, Addition)
+{
+    Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+    Matrix c = a + b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, Multiplication)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix b(3, 2);
+    b(0, 0) = 7; b(0, 1) = 8;
+    b(1, 0) = 9; b(1, 1) = 10;
+    b(2, 0) = 11; b(2, 1) = 12;
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MatrixVector)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 3; a(1, 1) = 4;
+    const auto y = a * std::vector<double>{1.0, -1.0};
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix a(2, 3);
+    a(0, 2) = 5.0;
+    Matrix t = a.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(Matrix, GramEqualsExplicitProduct)
+{
+    Matrix x(4, 3);
+    double v = 0.3;
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            x(i, j) = v;
+            v = v * 1.7 - 0.4;
+        }
+    }
+    Matrix g = x.gram();
+    Matrix expected = x.transpose() * x;
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+}
+
+TEST(Matrix, TransposeTimesVector)
+{
+    Matrix x(3, 2);
+    x(0, 0) = 1; x(0, 1) = 2;
+    x(1, 0) = 3; x(1, 1) = 4;
+    x(2, 0) = 5; x(2, 1) = 6;
+    const auto b = x.transposeTimes({1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(b[0], 9.0);
+    EXPECT_DOUBLE_EQ(b[1], 12.0);
+}
+
+TEST(Cholesky, SolvesKnownSystem)
+{
+    // SPD matrix [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 3;
+    const auto x = Matrix::choleskySolve(a, {6.0, 5.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Cholesky, SolvesLargerRandomSpd)
+{
+    // Build A = M^T M + I (guaranteed SPD), solve A x = A * ones.
+    const std::size_t n = 12;
+    Matrix m(n, n);
+    Rng rng(99);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.uniform() - 0.5;
+    }
+    Matrix a = m.gram() + Matrix::identity(n, 1.0);
+    const std::vector<double> ones(n, 1.0);
+    const auto b = a * ones;
+    const auto x = Matrix::choleskySolve(a, b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], 1.0, 1e-9);
+}
+
+TEST(Cholesky, IdentitySolvesTrivially)
+{
+    const auto x =
+        Matrix::choleskySolve(Matrix::identity(3), {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(CholeskyDeath, RejectsIndefiniteMatrix)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 1; // eigenvalues 3 and -1
+    EXPECT_EXIT(Matrix::choleskySolve(a, {1.0, 1.0}),
+                ::testing::ExitedWithCode(1), "not positive definite");
+}
+
+} // namespace
+} // namespace ml
+} // namespace pearl

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of the experiment runner and metric aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hpp"
+#include "traffic/suite.hpp"
+
+namespace pearl {
+namespace metrics {
+namespace {
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    MetricsTest() : pair_{suite_.find("Rad"), suite_.find("QRS")}
+    {
+        opts_.warmupCycles = 500;
+        opts_.measureCycles = 3000;
+    }
+
+    traffic::BenchmarkSuite suite_;
+    traffic::BenchmarkPair pair_;
+    RunOptions opts_;
+};
+
+TEST_F(MetricsTest, PearlRunProducesMetrics)
+{
+    core::PearlConfig cfg;
+    core::DbaConfig dba;
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    const auto m = runPearl(pair_, cfg, dba, policy, opts_, "test");
+    EXPECT_EQ(m.configName, "test");
+    EXPECT_EQ(m.pairLabel, "Rad+QRS");
+    EXPECT_EQ(m.cycles, opts_.measureCycles);
+    EXPECT_GT(m.deliveredPackets, 0u);
+    EXPECT_GT(m.throughputFlitsPerCycle, 0.0);
+    EXPECT_GT(m.throughputGbps, 0.0);
+    EXPECT_GT(m.energyPerBitPj, 0.0);
+    EXPECT_NEAR(m.laserPowerW, 1.16, 0.01);
+    EXPECT_NEAR(m.residency[4], 1.0, 1e-9); // always 64WL
+}
+
+TEST_F(MetricsTest, CmeshRunProducesMetrics)
+{
+    electrical::CmeshConfig cfg;
+    const auto m = runCmesh(pair_, cfg, opts_, "cmesh");
+    EXPECT_GT(m.deliveredPackets, 0u);
+    EXPECT_GT(m.energyPerBitPj, 0.0);
+    EXPECT_DOUBLE_EQ(m.laserPowerW, 0.0);
+}
+
+TEST_F(MetricsTest, WarmupIsExcluded)
+{
+    core::PearlConfig cfg;
+    core::DbaConfig dba;
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    RunOptions long_warmup = opts_;
+    long_warmup.warmupCycles = 3000;
+    const auto a = runPearl(pair_, cfg, dba, policy, opts_, "a");
+    const auto b = runPearl(pair_, cfg, dba, policy, long_warmup, "b");
+    // Same measurement length; delivered counts are on the same scale
+    // (the warm run sees a warmer cache, not several times the traffic).
+    const double ratio = static_cast<double>(b.deliveredPackets) /
+                         static_cast<double>(a.deliveredPackets);
+    EXPECT_GT(ratio, 0.25);
+    EXPECT_LT(ratio, 4.0);
+}
+
+TEST_F(MetricsTest, DeterministicForSameSeed)
+{
+    core::PearlConfig cfg;
+    core::DbaConfig dba;
+    core::StaticPolicy p1(photonic::WlState::WL64);
+    core::StaticPolicy p2(photonic::WlState::WL64);
+    const auto a = runPearl(pair_, cfg, dba, p1, opts_, "x");
+    const auto b = runPearl(pair_, cfg, dba, p2, opts_, "x");
+    EXPECT_EQ(a.deliveredFlits, b.deliveredFlits);
+    EXPECT_DOUBLE_EQ(a.totalEnergyJ, b.totalEnergyJ);
+}
+
+TEST_F(MetricsTest, LowStateReducesLaserPower)
+{
+    core::PearlConfig cfg;
+    core::DbaConfig dba;
+    core::StaticPolicy wl64(photonic::WlState::WL64);
+    core::StaticPolicy wl16(photonic::WlState::WL16);
+    const auto high = runPearl(pair_, cfg, dba, wl64, opts_, "64");
+    const auto low = runPearl(pair_, cfg, dba, wl16, opts_, "16");
+    EXPECT_LT(low.laserPowerW, high.laserPowerW * 0.5);
+}
+
+TEST_F(MetricsTest, AverageAggregates)
+{
+    RunMetrics a, b;
+    a.configName = b.configName = "cfg";
+    a.throughputFlitsPerCycle = 2.0;
+    b.throughputFlitsPerCycle = 4.0;
+    a.laserPowerW = 1.0;
+    b.laserPowerW = 0.5;
+    a.deliveredBits = 100;
+    b.deliveredBits = 200;
+    a.residency[0] = 1.0;
+    b.residency[0] = 0.0;
+    const auto avg = average({a, b}, "all");
+    EXPECT_DOUBLE_EQ(avg.throughputFlitsPerCycle, 3.0);
+    EXPECT_DOUBLE_EQ(avg.laserPowerW, 0.75);
+    EXPECT_EQ(avg.deliveredBits, 300u);
+    EXPECT_DOUBLE_EQ(avg.residency[0], 0.5);
+    EXPECT_EQ(avg.pairLabel, "all");
+}
+
+} // namespace
+} // namespace metrics
+} // namespace pearl

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Exhaustive tests of the NMOESI protocol table, including parameterized
+ * property sweeps over every state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/nmoesi.hpp"
+
+namespace pearl {
+namespace cache {
+namespace {
+
+const std::vector<CacheState> kAllStates = {
+    CacheState::I, CacheState::S, CacheState::E,
+    CacheState::O, CacheState::M, CacheState::N,
+};
+
+TEST(Nmoesi, ValidityAndDirtiness)
+{
+    EXPECT_FALSE(isValid(CacheState::I));
+    for (auto s : {CacheState::S, CacheState::E, CacheState::O,
+                   CacheState::M, CacheState::N})
+        EXPECT_TRUE(isValid(s)) << toString(s);
+
+    EXPECT_TRUE(isDirty(CacheState::M));
+    EXPECT_TRUE(isDirty(CacheState::O));
+    EXPECT_TRUE(isDirty(CacheState::N));
+    EXPECT_FALSE(isDirty(CacheState::S));
+    EXPECT_FALSE(isDirty(CacheState::E));
+    EXPECT_FALSE(isDirty(CacheState::I));
+}
+
+TEST(Nmoesi, LoadsHitInAnyValidState)
+{
+    for (auto s : kAllStates) {
+        const auto outcome = classifyAccess(s, /*write=*/false);
+        if (s == CacheState::I)
+            EXPECT_EQ(outcome, AccessOutcome::Miss);
+        else
+            EXPECT_EQ(outcome, AccessOutcome::Hit) << toString(s);
+    }
+}
+
+TEST(Nmoesi, StoreClassification)
+{
+    EXPECT_EQ(classifyAccess(CacheState::M, true), AccessOutcome::Hit);
+    EXPECT_EQ(classifyAccess(CacheState::N, true), AccessOutcome::Hit);
+    EXPECT_EQ(classifyAccess(CacheState::E, true), AccessOutcome::Hit);
+    EXPECT_EQ(classifyAccess(CacheState::S, true),
+              AccessOutcome::UpgradeNeeded);
+    EXPECT_EQ(classifyAccess(CacheState::O, true),
+              AccessOutcome::UpgradeNeeded);
+    EXPECT_EQ(classifyAccess(CacheState::I, true), AccessOutcome::Miss);
+}
+
+TEST(Nmoesi, SilentEToMUpgrade)
+{
+    EXPECT_EQ(stateAfterHit(CacheState::E, true), CacheState::M);
+    EXPECT_EQ(stateAfterHit(CacheState::E, false), CacheState::E);
+    EXPECT_EQ(stateAfterHit(CacheState::M, true), CacheState::M);
+    EXPECT_EQ(stateAfterHit(CacheState::N, true), CacheState::N);
+    EXPECT_EQ(stateAfterHit(CacheState::S, false), CacheState::S);
+    EXPECT_EQ(stateAfterHit(CacheState::O, false), CacheState::O);
+}
+
+TEST(Nmoesi, FillStates)
+{
+    EXPECT_EQ(fillState(false, false, false), CacheState::S);
+    EXPECT_EQ(fillState(false, true, false), CacheState::E);
+    EXPECT_EQ(fillState(true, true, false), CacheState::M);
+    EXPECT_EQ(fillState(true, false, true), CacheState::N);
+    EXPECT_EQ(fillState(true, true, true), CacheState::N);
+    // Non-coherent loads fill like coherent ones.
+    EXPECT_EQ(fillState(false, false, true), CacheState::S);
+    EXPECT_EQ(fillState(false, true, true), CacheState::E);
+}
+
+TEST(Nmoesi, ShareProbeTransitions)
+{
+    EXPECT_EQ(applyProbe(CacheState::M, ProbeType::Share).next,
+              CacheState::O);
+    EXPECT_EQ(applyProbe(CacheState::E, ProbeType::Share).next,
+              CacheState::S);
+    EXPECT_EQ(applyProbe(CacheState::S, ProbeType::Share).next,
+              CacheState::S);
+    EXPECT_EQ(applyProbe(CacheState::O, ProbeType::Share).next,
+              CacheState::O);
+    EXPECT_EQ(applyProbe(CacheState::N, ProbeType::Share).next,
+              CacheState::N);
+    EXPECT_EQ(applyProbe(CacheState::I, ProbeType::Share).next,
+              CacheState::I);
+}
+
+TEST(Nmoesi, ShareProbeSupply)
+{
+    // E supplies clean data; M/O/N supply dirty data; S and I don't.
+    EXPECT_TRUE(applyProbe(CacheState::E, ProbeType::Share).supplyData);
+    EXPECT_FALSE(applyProbe(CacheState::E, ProbeType::Share).dirtyData);
+    EXPECT_TRUE(applyProbe(CacheState::M, ProbeType::Share).dirtyData);
+    EXPECT_TRUE(applyProbe(CacheState::O, ProbeType::Share).dirtyData);
+    EXPECT_TRUE(applyProbe(CacheState::N, ProbeType::Share).dirtyData);
+    EXPECT_FALSE(applyProbe(CacheState::S, ProbeType::Share).supplyData);
+    EXPECT_FALSE(applyProbe(CacheState::I, ProbeType::Share).supplyData);
+}
+
+// Property sweep: invalidation probes always end in I, and supply data
+// exactly when the state was dirty.
+class NmoesiInvalidateSweep
+    : public ::testing::TestWithParam<CacheState>
+{};
+
+TEST_P(NmoesiInvalidateSweep, AlwaysEndsInvalid)
+{
+    const auto outcome = applyProbe(GetParam(), ProbeType::Invalidate);
+    EXPECT_EQ(outcome.next, CacheState::I);
+}
+
+TEST_P(NmoesiInvalidateSweep, SuppliesDataIffDirty)
+{
+    const CacheState s = GetParam();
+    const auto outcome = applyProbe(s, ProbeType::Invalidate);
+    EXPECT_EQ(outcome.supplyData, isDirty(s)) << toString(s);
+    EXPECT_EQ(outcome.dirtyData, isDirty(s)) << toString(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStates, NmoesiInvalidateSweep,
+    ::testing::Values(CacheState::I, CacheState::S, CacheState::E,
+                      CacheState::O, CacheState::M, CacheState::N),
+    [](const ::testing::TestParamInfo<CacheState> &info) {
+        return toString(info.param);
+    });
+
+// Property sweep: writebacks are needed exactly for dirty states.
+class NmoesiWritebackSweep : public ::testing::TestWithParam<CacheState>
+{};
+
+TEST_P(NmoesiWritebackSweep, WritebackIffDirty)
+{
+    EXPECT_EQ(writebackNeeded(GetParam()), isDirty(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStates, NmoesiWritebackSweep,
+    ::testing::Values(CacheState::I, CacheState::S, CacheState::E,
+                      CacheState::O, CacheState::M, CacheState::N),
+    [](const ::testing::TestParamInfo<CacheState> &info) {
+        return toString(info.param);
+    });
+
+// Property: share probes never lose data (valid stays valid) and never
+// create dirtiness out of clean states.
+class NmoesiShareSweep : public ::testing::TestWithParam<CacheState>
+{};
+
+TEST_P(NmoesiShareSweep, ShareProbePreservesValidity)
+{
+    const CacheState s = GetParam();
+    const auto outcome = applyProbe(s, ProbeType::Share);
+    EXPECT_EQ(isValid(outcome.next), isValid(s));
+}
+
+TEST_P(NmoesiShareSweep, CleanStatesSupplyCleanData)
+{
+    const CacheState s = GetParam();
+    const auto outcome = applyProbe(s, ProbeType::Share);
+    if (outcome.supplyData && !isDirty(s)) {
+        EXPECT_FALSE(outcome.dirtyData);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStates, NmoesiShareSweep,
+    ::testing::Values(CacheState::I, CacheState::S, CacheState::E,
+                      CacheState::O, CacheState::M, CacheState::N),
+    [](const ::testing::TestParamInfo<CacheState> &info) {
+        return toString(info.param);
+    });
+
+} // namespace
+} // namespace cache
+} // namespace pearl

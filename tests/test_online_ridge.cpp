@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests of the online (RLS) ridge extension and its policy wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/online_ridge.hpp"
+
+namespace pearl {
+namespace ml {
+namespace {
+
+TEST(OnlineRidge, LearnsLinearFunction)
+{
+    OnlineRidge model(2, 1.0, 1.0);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const double x0 = rng.uniform() * 10.0;
+        const double x1 = rng.uniform() * 10.0;
+        model.update({x0, x1}, 2.0 * x0 - 0.5 * x1 + 3.0);
+    }
+    EXPECT_NEAR(model.predict({4.0, 2.0}), 2.0 * 4 - 0.5 * 2 + 3.0, 0.3);
+    EXPECT_EQ(model.updates(), 2000u);
+}
+
+TEST(OnlineRidge, TracksDriftWithForgetting)
+{
+    // The relationship flips mid-stream; with forgetting < 1 the model
+    // converges to the new one, while a remember-everything model stays
+    // in between.
+    OnlineRidge adaptive(1, 1.0, 0.98);
+    OnlineRidge rigid(1, 1.0, 1.0);
+    Rng rng(5);
+    for (int i = 0; i < 1500; ++i) {
+        const double x = rng.uniform() * 5.0;
+        const double y = (i < 750 ? 1.0 : 4.0) * x;
+        adaptive.update({x}, y);
+        rigid.update({x}, y);
+    }
+    const double adaptive_pred = adaptive.predict({1.0});
+    const double rigid_pred = rigid.predict({1.0});
+    EXPECT_NEAR(adaptive_pred, 4.0, 0.3);
+    EXPECT_LT(rigid_pred, adaptive_pred); // still dragged by old data
+}
+
+TEST(OnlineRidge, WarmStartMatchesOfflineModel)
+{
+    // Train an offline model, warm-start the online one, and check the
+    // two predict identically before any online update.
+    Dataset data;
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+        const double x0 = rng.uniform() * 100.0;
+        const double x1 = rng.uniform();
+        data.add({x0, x1}, 0.7 * x0 + 12.0 * x1 - 4.0);
+    }
+    RidgeRegression offline;
+    offline.fit(data, 1e-6);
+
+    OnlineRidge online(2);
+    online.warmStart(offline);
+    for (const auto &probe :
+         {std::vector<double>{3.0, 0.5}, {80.0, 0.1}, {0.0, 0.0}}) {
+        EXPECT_NEAR(online.predict(probe), offline.predict(probe), 1e-6);
+    }
+}
+
+TEST(OnlineRidge, WarmStartThenRefines)
+{
+    // Offline learns an outdated slope; online refinement fixes it.
+    Dataset data;
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform() * 10.0;
+        data.add({x}, 1.0 * x);
+    }
+    RidgeRegression offline;
+    offline.fit(data, 1e-6);
+
+    OnlineRidge online(1, 1.0, 0.99);
+    online.warmStart(offline);
+    for (int i = 0; i < 1200; ++i) {
+        const double x = rng.uniform() * 10.0;
+        online.update({x}, 3.0 * x);
+    }
+    EXPECT_NEAR(online.predict({2.0}), 6.0, 0.5);
+}
+
+TEST(OnlineMlPolicy, PredictTrainLoopRuns)
+{
+    OnlineRidge model(static_cast<std::size_t>(kNumFeatures), 10.0,
+                      0.999);
+    MlPolicyConfig cfg;
+    OnlineMlPolicy policy(&model, 17, cfg);
+
+    sim::RouterTelemetry tel;
+    tel.packetsInjected = 12;
+    core::WindowObservation obs;
+    obs.router = 3;
+    obs.telemetry = &tel;
+    obs.windowCycles = 500;
+
+    // First window: prediction only (nothing to train on yet).
+    (void)policy.nextState(obs);
+    EXPECT_EQ(model.updates(), 0u);
+    // Second window: the previous features get this window's label.
+    (void)policy.nextState(obs);
+    EXPECT_EQ(model.updates(), 1u);
+    // Routers train independently.
+    obs.router = 7;
+    (void)policy.nextState(obs);
+    EXPECT_EQ(model.updates(), 1u);
+    (void)policy.nextState(obs);
+    EXPECT_EQ(model.updates(), 2u);
+    EXPECT_STREQ(policy.name(), "online-ml");
+}
+
+TEST(OnlineRidge, PredictionConvergesOnRepeatedSample)
+{
+    OnlineRidge model(3, 5.0, 1.0);
+    const std::vector<double> x = {1.0, 2.0, 3.0};
+    for (int i = 0; i < 200; ++i)
+        model.update(x, 42.0);
+    EXPECT_NEAR(model.predict(x), 42.0, 0.5);
+}
+
+} // namespace
+} // namespace ml
+} // namespace pearl

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for packets, message classes and coherence ops.  The MsgClass
+ * ordering is load-bearing (it maps to ML features 14-29 / Table III),
+ * so it is pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace sim {
+namespace {
+
+TEST(MsgClass, TableIIIOrderIsPinned)
+{
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqCpuL1I), 0);
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqCpuL1D), 1);
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqCpuL2Up), 2);
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqCpuL2Down), 3);
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqGpuL1), 4);
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqGpuL2Up), 5);
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqGpuL2Down), 6);
+    EXPECT_EQ(static_cast<int>(MsgClass::ReqL3), 7);
+    EXPECT_EQ(static_cast<int>(MsgClass::RespCpuL1I), 8);
+    EXPECT_EQ(static_cast<int>(MsgClass::RespL3), 15);
+    EXPECT_EQ(kNumMsgClasses, 16);
+}
+
+TEST(MsgClass, RequestResponseSplit)
+{
+    for (int c = 0; c < kNumMsgClasses; ++c) {
+        const auto cls = static_cast<MsgClass>(c);
+        EXPECT_EQ(isRequest(cls), c < 8) << toString(cls);
+        EXPECT_NE(isRequest(cls), isResponse(cls));
+    }
+}
+
+TEST(MsgClass, CoreTypeAttribution)
+{
+    EXPECT_EQ(coreTypeOf(MsgClass::ReqCpuL1D), CoreType::CPU);
+    EXPECT_EQ(coreTypeOf(MsgClass::RespCpuL2Down), CoreType::CPU);
+    EXPECT_EQ(coreTypeOf(MsgClass::ReqGpuL1), CoreType::GPU);
+    EXPECT_EQ(coreTypeOf(MsgClass::ReqGpuL2Down), CoreType::GPU);
+    EXPECT_EQ(coreTypeOf(MsgClass::RespGpuL2Up), CoreType::GPU);
+    // L3/memory classes are attributed to CPU by convention.
+    EXPECT_EQ(coreTypeOf(MsgClass::ReqL3), CoreType::CPU);
+    EXPECT_EQ(coreTypeOf(MsgClass::RespL3), CoreType::CPU);
+}
+
+TEST(MsgClass, NamesMatchTableIII)
+{
+    EXPECT_STREQ(toString(MsgClass::ReqCpuL1I),
+                 "Request CPU L1 instruction");
+    EXPECT_STREQ(toString(MsgClass::RespGpuL2Down),
+                 "Response GPU L2 down");
+    EXPECT_STREQ(toString(MsgClass::ReqL3), "Request L3");
+}
+
+TEST(CoherenceOp, CarriesData)
+{
+    EXPECT_TRUE(carriesData(CoherenceOp::Data));
+    EXPECT_TRUE(carriesData(CoherenceOp::DataExcl));
+    EXPECT_TRUE(carriesData(CoherenceOp::Writeback));
+    EXPECT_FALSE(carriesData(CoherenceOp::Read));
+    EXPECT_FALSE(carriesData(CoherenceOp::ReadExcl));
+    EXPECT_FALSE(carriesData(CoherenceOp::ProbeShare));
+    EXPECT_FALSE(carriesData(CoherenceOp::ProbeInv));
+    EXPECT_FALSE(carriesData(CoherenceOp::Ack));
+}
+
+TEST(Packet, FlitSizing)
+{
+    EXPECT_EQ(flitsFor(kRequestBits), 1);
+    EXPECT_EQ(flitsFor(kResponseBits), 5);
+    EXPECT_EQ(flitsFor(1), 1);
+    EXPECT_EQ(flitsFor(128), 1);
+    EXPECT_EQ(flitsFor(129), 2);
+    EXPECT_EQ(flitsFor(256), 2);
+}
+
+TEST(Packet, DefaultsAndLatency)
+{
+    Packet p;
+    p.cycleCreated = 100;
+    p.cycleDelivered = 175;
+    EXPECT_EQ(p.latency(), 75u);
+    EXPECT_EQ(p.numFlits(), 1);
+    EXPECT_TRUE(p.request());
+}
+
+TEST(Packet, ResponsePacketIsFiveFlits)
+{
+    Packet p;
+    p.msgClass = MsgClass::RespCpuL2Down;
+    p.sizeBits = kResponseBits;
+    EXPECT_EQ(p.numFlits(), 5);
+    EXPECT_FALSE(p.request());
+    EXPECT_EQ(p.coreType(), CoreType::CPU);
+}
+
+TEST(Packet, GpuClassCoreType)
+{
+    Packet p;
+    p.msgClass = MsgClass::ReqGpuL2Down;
+    EXPECT_EQ(p.coreType(), CoreType::GPU);
+}
+
+} // namespace
+} // namespace sim
+} // namespace pearl

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests of the PEARL router microarchitecture: serialization timing,
+ * DBA-driven splits, reservation overhead, laser blackout, ejection and
+ * telemetry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "photonic/power_model.hpp"
+
+namespace pearl {
+namespace core {
+namespace {
+
+using photonic::PowerModel;
+using photonic::WlState;
+using sim::CoreType;
+using sim::Cycle;
+using sim::MsgClass;
+using sim::Packet;
+
+Packet
+makePacket(MsgClass cls, int size_bits, int dst = 5)
+{
+    static std::uint64_t seq = 0;
+    Packet p;
+    p.id = ++seq;
+    p.msgClass = cls;
+    p.sizeBits = size_bits;
+    p.src = 0;
+    p.dst = dst;
+    return p;
+}
+
+class PearlRouterTest : public ::testing::Test
+{
+  protected:
+    PearlRouterTest() : power_()
+    {
+        cfg_.reservationCycles = 2;
+    }
+
+    void
+    makeRouter(WlState initial = WlState::WL64)
+    {
+        cfg_.initialState = initial;
+        router_ = std::make_unique<PearlRouter>(0, cfg_, power_,
+                                                DbaConfig{});
+    }
+
+    /** Run transmit cycles until `n` packets completed or limit hit. */
+    int
+    cyclesToTransmit(std::size_t n, int limit = 1000)
+    {
+        std::vector<TxCompletion> done;
+        int cycles = 0;
+        while (done.size() < n && cycles < limit) {
+            router_->transmitCycle(now_++, done);
+            ++cycles;
+        }
+        EXPECT_EQ(done.size(), n);
+        return cycles;
+    }
+
+    PowerModel power_;
+    PearlConfig cfg_;
+    std::unique_ptr<PearlRouter> router_;
+    Cycle now_ = 0;
+};
+
+TEST_F(PearlRouterTest, InjectRespectsCapacity)
+{
+    makeRouter();
+    // CPU buffer: 64 slots of 1-flit requests.
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(router_->inject(
+            makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits), 0));
+    }
+    EXPECT_FALSE(router_->canAccept(
+        makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits)));
+    // GPU class has its own pool.
+    EXPECT_TRUE(router_->canAccept(
+        makePacket(MsgClass::ReqGpuL2Down, sim::kRequestBits)));
+}
+
+TEST_F(PearlRouterTest, SingleRequestTiming)
+{
+    // 1 flit at 64 WL: 2 reservation cycles + 2 serialization cycles.
+    makeRouter(WlState::WL64);
+    router_->inject(makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits),
+                    0);
+    EXPECT_EQ(cyclesToTransmit(1), 4);
+}
+
+TEST_F(PearlRouterTest, ResponseTimingAt64Wl)
+{
+    // 5 flits = 640 bits at 64 b/cyc: 10 cycles + 2 reservation.
+    makeRouter(WlState::WL64);
+    router_->inject(
+        makePacket(MsgClass::RespCpuL2Down, sim::kResponseBits), 0);
+    EXPECT_EQ(cyclesToTransmit(1), 12);
+}
+
+TEST_F(PearlRouterTest, LowStateIsSlower)
+{
+    // The same response at 8 WL: 640/8 = 80 cycles + reservation.
+    makeRouter(WlState::WL8);
+    router_->inject(
+        makePacket(MsgClass::RespCpuL2Down, sim::kResponseBits), 0);
+    EXPECT_EQ(cyclesToTransmit(1), 82);
+}
+
+TEST_F(PearlRouterTest, BackToBackHidesReservation)
+{
+    makeRouter(WlState::WL64);
+    router_->inject(makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits),
+                    0);
+    router_->inject(makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits),
+                    0);
+    // First: 2 res + 2 data.  Second: reservation overlapped, 2 data.
+    EXPECT_EQ(cyclesToTransmit(2), 6);
+}
+
+TEST_F(PearlRouterTest, DbaGivesFullBandwidthToSoleClass)
+{
+    // Only CPU traffic: Algorithm 1 case (a) gives it 100%, so two
+    // single-flit packets need 2 cycles each after the reservation.
+    makeRouter(WlState::WL64);
+    for (int i = 0; i < 4; ++i) {
+        router_->inject(
+            makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits), 0);
+    }
+    EXPECT_EQ(cyclesToTransmit(4), 2 + 4 * 2);
+}
+
+TEST_F(PearlRouterTest, ClassesTransmitSimultaneously)
+{
+    // CPU and GPU packets proceed in parallel on their shares — the
+    // paper's goal (iv).
+    makeRouter(WlState::WL64);
+    router_->inject(
+        makePacket(MsgClass::RespCpuL2Down, sim::kResponseBits), 0);
+    router_->inject(
+        makePacket(MsgClass::RespGpuL2Down, sim::kResponseBits), 0);
+    std::vector<TxCompletion> done;
+    int cycles = 0;
+    while (done.size() < 2 && cycles < 200) {
+        router_->transmitCycle(now_++, done);
+        ++cycles;
+    }
+    ASSERT_EQ(done.size(), 2u);
+    // At a 50/50 split each class gets 32 b/cyc: 640/32 = 20 cycles
+    // + 2 reservation; far less than a serialised 2 x 12.
+    EXPECT_LE(cycles, 24);
+}
+
+TEST_F(PearlRouterTest, LaserBlackoutStopsTransmission)
+{
+    makeRouter(WlState::WL16);
+    router_->inject(makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits),
+                    0);
+    router_->laser().requestState(WlState::WL64, 0); // 4-cycle blackout
+    std::vector<TxCompletion> done;
+    for (Cycle t = 0; t < 4; ++t) {
+        EXPECT_EQ(router_->transmitCycle(t, done), 0);
+    }
+    EXPECT_TRUE(done.empty());
+    now_ = 4;
+    EXPECT_EQ(cyclesToTransmit(1), 4); // 2 res + 2 data once stable
+}
+
+TEST_F(PearlRouterTest, TelemetryLabelCountsInjections)
+{
+    makeRouter();
+    router_->inject(makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits),
+                    0);
+    router_->inject(
+        makePacket(MsgClass::RespGpuL2Down, sim::kResponseBits), 0);
+    const auto &t = router_->telemetry();
+    EXPECT_EQ(t.packetsInjected, 2u);
+    EXPECT_EQ(t.incomingFromCores, 2u);
+    EXPECT_EQ(t.requestsSent, 1u);
+    EXPECT_EQ(t.responsesSent, 1u);
+    EXPECT_EQ(t.classCounts[static_cast<int>(MsgClass::ReqCpuL2Down)], 1u);
+}
+
+TEST_F(PearlRouterTest, RxEnqueueAndEject)
+{
+    makeRouter();
+    Packet p = makePacket(MsgClass::RespCpuL2Down, sim::kResponseBits);
+    p.dst = 0;
+    ASSERT_TRUE(router_->rxEnqueue(p));
+    EXPECT_EQ(router_->telemetry().incomingFromRouters, 1u);
+    EXPECT_EQ(router_->telemetry().responsesReceived, 1u);
+
+    std::vector<Packet> delivered;
+    // 5 flits at 4 flits/cycle: two eject cycles.
+    router_->ejectCycle(10, delivered);
+    EXPECT_TRUE(delivered.empty());
+    router_->ejectCycle(11, delivered);
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0].cycleDelivered, 11u);
+    EXPECT_EQ(router_->telemetry().packetsToCore, 1u);
+}
+
+TEST_F(PearlRouterTest, RxBackpressureWhenFull)
+{
+    cfg_.rxSlotsPerClass = 5;
+    makeRouter();
+    Packet p = makePacket(MsgClass::RespCpuL2Down, sim::kResponseBits);
+    p.dst = 0;
+    EXPECT_TRUE(router_->rxEnqueue(p));
+    EXPECT_FALSE(router_->rxEnqueue(p)); // full: 5 of 5 slots used
+}
+
+TEST_F(PearlRouterTest, OccupancyAccumulation)
+{
+    makeRouter();
+    router_->inject(
+        makePacket(MsgClass::RespCpuL2Down, sim::kResponseBits), 0);
+    router_->accumulateOccupancy();
+    router_->accumulateOccupancy();
+    const auto &t = router_->telemetry();
+    EXPECT_NEAR(t.cpuCoreBufOccupancy, 2.0 * 5.0 / 64.0, 1e-12);
+    EXPECT_NEAR(router_->betaTotalMean(), 5.0 / 64.0, 1e-12);
+}
+
+TEST_F(PearlRouterTest, WindowResetClearsTelemetry)
+{
+    makeRouter();
+    router_->inject(makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits),
+                    0);
+    router_->accumulateOccupancy();
+    router_->resetWindow(WlState::WL16);
+    const auto &t = router_->telemetry();
+    EXPECT_EQ(t.packetsInjected, 0u);
+    EXPECT_EQ(t.wavelengths, 16);
+    EXPECT_DOUBLE_EQ(router_->betaTotalMean(), 0.0);
+}
+
+TEST_F(PearlRouterTest, WaveguideGroupMultipliesCapacity)
+{
+    cfg_.reservationCycles = 0;
+    cfg_.initialState = WlState::WL64;
+    PearlRouter wide(16, cfg_, power_, DbaConfig{}, /*waveguides=*/4);
+    Packet p = makePacket(MsgClass::RespCpuL2Down, sim::kResponseBits);
+    ASSERT_TRUE(wide.inject(p, 0));
+    std::vector<TxCompletion> done;
+    int cycles = 0;
+    Cycle t = 0;
+    while (done.empty() && cycles < 100) {
+        wide.transmitCycle(t++, done);
+        ++cycles;
+    }
+    // 640 bits at 4 x 64 = 256 b/cyc -> 3 cycles.
+    EXPECT_EQ(cycles, 3);
+}
+
+TEST_F(PearlRouterTest, FcfsModeServesArrivalOrder)
+{
+    // In FCFS mode the older head gets the whole link; a GPU packet that
+    // arrived first monopolises the channel over a later CPU packet.
+    cfg_.initialState = photonic::WlState::WL64;
+    core::DbaConfig fcfs;
+    fcfs.mode = core::DbaConfig::Mode::Fcfs;
+    PearlRouter router(0, cfg_, power_, fcfs);
+    Packet gpu = makePacket(MsgClass::RespGpuL2Down, sim::kResponseBits);
+    Packet cpu = makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits);
+    router.inject(gpu, 0);
+    router.inject(cpu, 1); // later arrival
+    std::vector<TxCompletion> done;
+    Cycle t = 0;
+    while (done.empty() && t < 100)
+        router.transmitCycle(t++, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].pkt.coreType(), CoreType::GPU);
+    // The CPU packet completes strictly after the GPU packet.
+    while (done.size() < 2 && t < 200)
+        router.transmitCycle(t++, done);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[1].pkt.coreType(), CoreType::CPU);
+}
+
+TEST_F(PearlRouterTest, IdleReflectsBuffers)
+{
+    makeRouter();
+    EXPECT_TRUE(router_->idle());
+    router_->inject(makePacket(MsgClass::ReqCpuL2Down, sim::kRequestBits),
+                    0);
+    EXPECT_FALSE(router_->idle());
+    cyclesToTransmit(1);
+    EXPECT_TRUE(router_->idle());
+}
+
+} // namespace
+} // namespace core
+} // namespace pearl

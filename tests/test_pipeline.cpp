@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests of the ML training pipeline (data collection, lambda selection,
+ * evaluation).  Uses reduced pair counts and short runs to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/pipeline.hpp"
+
+namespace pearl {
+namespace ml {
+namespace {
+
+PipelineConfig
+smallConfig()
+{
+    PipelineConfig cfg;
+    cfg.reservationWindow = 250;
+    cfg.simCycles = 4000;
+    cfg.maxTrainPairs = 2;
+    cfg.maxValPairs = 1;
+    cfg.secondPass = false;
+    cfg.lambdaGrid = {0.1, 10.0};
+    return cfg;
+}
+
+TEST(Pipeline, CollectsLabelledWindows)
+{
+    traffic::BenchmarkSuite suite;
+    TrainingPipeline pipe(suite, smallConfig());
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    const auto data = pipe.collect(
+        traffic::BenchmarkPair{suite.find("FA"), suite.find("DCT")},
+        policy, 3);
+    // 4000 cycles / 250-cycle windows = ~16 windows per router, minus
+    // the first unlabelled one, times 17 routers.
+    EXPECT_GT(data.size(), 17u * 10u);
+    EXPECT_EQ(data.features.front().size(),
+              static_cast<std::size_t>(kNumFeatures));
+}
+
+TEST(Pipeline, RunTrainsAModel)
+{
+    traffic::BenchmarkSuite suite;
+    TrainingPipeline pipe(suite, smallConfig());
+    const auto result = pipe.run();
+    EXPECT_TRUE(result.model.trained());
+    EXPECT_GT(result.trainSamples, 100u);
+    EXPECT_GT(result.valSamples, 10u);
+    EXPECT_TRUE(result.bestLambda == 0.1 || result.bestLambda == 10.0);
+    // The model should beat the mean predictor on validation data.
+    EXPECT_GT(result.validationNrmse, -1.0);
+}
+
+TEST(Pipeline, EvaluateComputesAccuracy)
+{
+    traffic::BenchmarkSuite suite;
+    TrainingPipeline pipe(suite, smallConfig());
+    const auto result = pipe.run();
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    const auto test_data = pipe.collect(
+        traffic::BenchmarkPair{suite.find("Rad"), suite.find("QRS")},
+        policy, 11);
+    const auto eval = pipe.evaluate(result.model, test_data);
+    EXPECT_EQ(eval.samples, test_data.size());
+    EXPECT_GE(eval.stateAccuracy, 0.0);
+    EXPECT_LE(eval.stateAccuracy, 1.0);
+    EXPECT_GE(eval.topStateAccuracy, 0.0);
+    EXPECT_LE(eval.topStateAccuracy, 1.0);
+}
+
+TEST(Pipeline, SecondPassRefits)
+{
+    traffic::BenchmarkSuite suite;
+    PipelineConfig cfg = smallConfig();
+    cfg.secondPass = true;
+    TrainingPipeline pipe(suite, cfg);
+    const auto result = pipe.run();
+    EXPECT_TRUE(result.model.trained());
+}
+
+} // namespace
+} // namespace ml
+} // namespace pearl

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests of the ridge regression solver (Equations 4-6) and the NRMSE
+ * goodness-of-fit metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "ml/ridge.hpp"
+
+namespace pearl {
+namespace ml {
+namespace {
+
+Dataset
+linearData(int n, double noise, Rng &rng)
+{
+    // y = 3*x0 - 2*x1 + 5, with feature scales differing wildly to
+    // exercise standardisation.
+    Dataset d;
+    for (int i = 0; i < n; ++i) {
+        const double x0 = rng.uniform() * 100.0;
+        const double x1 = rng.uniform() * 0.01;
+        const double y = 3.0 * x0 - 200.0 * x1 + 5.0 +
+                         noise * (rng.uniform() - 0.5);
+        d.add({x0, x1}, y);
+    }
+    return d;
+}
+
+TEST(Ridge, RecoversLinearFunction)
+{
+    Rng rng(5);
+    Dataset d = linearData(500, 0.0, rng);
+    RidgeRegression model;
+    model.fit(d, 1e-8);
+    for (int i = 0; i < 20; ++i) {
+        const auto &x = d.features[static_cast<std::size_t>(i)];
+        EXPECT_NEAR(model.predict(x), d.labels[static_cast<std::size_t>(i)],
+                    1e-6);
+    }
+}
+
+TEST(Ridge, PredictsUnseenPoints)
+{
+    Rng rng(6);
+    Dataset d = linearData(500, 0.0, rng);
+    RidgeRegression model;
+    model.fit(d, 1e-8);
+    EXPECT_NEAR(model.predict({50.0, 0.005}),
+                3.0 * 50.0 - 200.0 * 0.005 + 5.0, 1e-6);
+}
+
+TEST(Ridge, InterceptIsLabelMeanForCenteredData)
+{
+    Dataset d;
+    d.add({1.0}, 10.0);
+    d.add({-1.0}, 20.0);
+    RidgeRegression model;
+    model.fit(d, 0.1);
+    EXPECT_NEAR(model.intercept(), 15.0, 1e-12);
+}
+
+TEST(Ridge, RegularisationShrinksWeights)
+{
+    Rng rng(7);
+    Dataset d = linearData(200, 10.0, rng);
+    RidgeRegression weak, strong;
+    weak.fit(d, 1e-6);
+    strong.fit(d, 1e6);
+    double weak_norm = 0, strong_norm = 0;
+    for (double w : weak.weights())
+        weak_norm += w * w;
+    for (double w : strong.weights())
+        strong_norm += w * w;
+    EXPECT_LT(strong_norm, weak_norm * 0.01);
+}
+
+TEST(Ridge, HeavyRegularisationPredictsMean)
+{
+    Rng rng(8);
+    Dataset d = linearData(200, 0.0, rng);
+    RidgeRegression model;
+    model.fit(d, 1e9);
+    double mean = 0;
+    for (double y : d.labels)
+        mean += y;
+    mean /= static_cast<double>(d.labels.size());
+    EXPECT_NEAR(model.predict(d.features[0]), mean, std::abs(mean) * 0.01);
+}
+
+TEST(Ridge, ConstantFeatureIsHarmless)
+{
+    Dataset d;
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.uniform();
+        d.add({x, 7.0}, 2.0 * x); // second feature constant
+    }
+    RidgeRegression model;
+    model.fit(d, 1e-6);
+    EXPECT_NEAR(model.predict({0.5, 7.0}), 1.0, 1e-6);
+}
+
+TEST(Ridge, PredictAllMatchesPredict)
+{
+    Rng rng(10);
+    Dataset d = linearData(50, 1.0, rng);
+    RidgeRegression model;
+    model.fit(d, 1.0);
+    const auto all = model.predictAll(d);
+    for (std::size_t i = 0; i < d.size(); ++i)
+        EXPECT_DOUBLE_EQ(all[i], model.predict(d.features[i]));
+}
+
+TEST(Ridge, LambdaIsRecorded)
+{
+    Dataset d;
+    d.add({1.0}, 1.0);
+    d.add({2.0}, 2.0);
+    RidgeRegression model;
+    model.fit(d, 3.5);
+    EXPECT_DOUBLE_EQ(model.lambda(), 3.5);
+    EXPECT_TRUE(model.trained());
+}
+
+TEST(Ridge, SaveLoadRoundTrip)
+{
+    Rng rng(11);
+    Dataset d = linearData(200, 1.0, rng);
+    RidgeRegression model;
+    model.fit(d, 2.0);
+
+    std::stringstream buffer;
+    model.save(buffer);
+    RidgeRegression loaded;
+    ASSERT_TRUE(loaded.load(buffer));
+    EXPECT_DOUBLE_EQ(loaded.lambda(), 2.0);
+    for (int i = 0; i < 20; ++i) {
+        const auto &x = d.features[static_cast<std::size_t>(i)];
+        EXPECT_DOUBLE_EQ(loaded.predict(x), model.predict(x));
+    }
+}
+
+TEST(Ridge, LoadRejectsGarbage)
+{
+    std::stringstream buffer("not-a-model 3 0.1 0.2");
+    RidgeRegression model;
+    EXPECT_FALSE(model.load(buffer));
+    std::stringstream truncated("pearl-ridge-v1\n2 0.1 0.2\n1 1");
+    EXPECT_FALSE(model.load(truncated));
+}
+
+TEST(Dataset, AppendConcatenates)
+{
+    Dataset a, b;
+    a.add({1.0}, 1.0);
+    b.add({2.0}, 2.0);
+    b.add({3.0}, 3.0);
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.labels[2], 3.0);
+}
+
+TEST(Nrmse, PerfectFitIsOne)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(nrmseFit(y, y), 1.0);
+}
+
+TEST(Nrmse, MeanPredictorIsZero)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> mean(4, 2.5);
+    EXPECT_NEAR(nrmseFit(y, mean), 0.0, 1e-12);
+}
+
+TEST(Nrmse, WorseThanMeanIsNegative)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> bad = {10.0, -10.0, 10.0, -10.0};
+    EXPECT_LT(nrmseFit(y, bad), 0.0);
+}
+
+TEST(Nrmse, BetterFitScoresHigher)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> close = {1.1, 2.1, 2.9, 4.1};
+    const std::vector<double> far = {2.0, 3.0, 2.0, 3.0};
+    EXPECT_GT(nrmseFit(y, close), nrmseFit(y, far));
+}
+
+} // namespace
+} // namespace ml
+} // namespace pearl

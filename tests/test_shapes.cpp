@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Paper-shape regression tests.
+ *
+ * These integration tests pin the *qualitative* results of the paper so
+ * calibration changes cannot silently invert them: PEARL beats CMESH,
+ * bandwidth constraints cost throughput, power scaling saves laser power
+ * within a bounded throughput loss, the DBA protects CPU traffic under a
+ * GPU flood, and laser power is insensitive to turn-on time while
+ * throughput is not.  Runs are kept short; the bounds are deliberately
+ * loose (shape, not absolute values).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/network.hpp"
+#include "photonic/power_model.hpp"
+#include "metrics/experiment.hpp"
+#include "traffic/suite.hpp"
+
+namespace pearl {
+namespace {
+
+class ShapeTest : public ::testing::Test
+{
+  protected:
+    ShapeTest() : pair_{suite_.find("FA"), suite_.find("DCT")}
+    {
+        opts_.warmupCycles = 4000;
+        opts_.measureCycles = 25000;
+    }
+
+    metrics::RunMetrics
+    pearlStatic(photonic::WlState state)
+    {
+        core::PearlConfig cfg;
+        cfg.initialState = state;
+        core::StaticPolicy policy(state);
+        return metrics::runPearl(pair_, cfg, core::DbaConfig{}, policy,
+                                 opts_, "static");
+    }
+
+    traffic::BenchmarkSuite suite_;
+    traffic::BenchmarkPair pair_;
+    metrics::RunOptions opts_;
+};
+
+TEST_F(ShapeTest, PearlOutperformsCmesh)
+{
+    // Figure 9's headline: the photonic crossbar beats the electrical
+    // CMESH in both throughput and latency.
+    const auto pearl = pearlStatic(photonic::WlState::WL64);
+    const auto cmesh =
+        metrics::runCmesh(pair_, electrical::CmeshConfig{}, opts_,
+                          "cmesh");
+    EXPECT_GT(pearl.throughputFlitsPerCycle,
+              cmesh.throughputFlitsPerCycle * 1.15);
+    EXPECT_LT(pearl.avgLatencyCycles, cmesh.avgLatencyCycles);
+}
+
+TEST_F(ShapeTest, PearlEnergyPerBitWellBelowCmesh)
+{
+    // Figure 5's headline: PEARL needs a fraction of CMESH's energy/bit.
+    const auto pearl = pearlStatic(photonic::WlState::WL64);
+    const auto cmesh =
+        metrics::runCmesh(pair_, electrical::CmeshConfig{}, opts_,
+                          "cmesh");
+    EXPECT_LT(pearl.energyPerBitPj, cmesh.energyPerBitPj * 0.7);
+}
+
+TEST_F(ShapeTest, BandwidthConstraintCostsThroughput)
+{
+    // Static 64 > 32 > 16 WL in delivered throughput (Figure 5 x-axis).
+    const auto w64 = pearlStatic(photonic::WlState::WL64);
+    const auto w32 = pearlStatic(photonic::WlState::WL32);
+    const auto w16 = pearlStatic(photonic::WlState::WL16);
+    EXPECT_GT(w64.throughputFlitsPerCycle, w32.throughputFlitsPerCycle);
+    EXPECT_GT(w32.throughputFlitsPerCycle, w16.throughputFlitsPerCycle);
+    // And static laser power follows the states exactly.
+    EXPECT_NEAR(w64.laserPowerW, 1.16, 1e-6);
+    EXPECT_NEAR(w32.laserPowerW, 0.581, 1e-6);
+}
+
+TEST_F(ShapeTest, ReactiveScalingSavesPowerWithinBoundedLoss)
+{
+    // The paper's band: 40-65% savings at 0-14% loss.  Loose bounds:
+    // at least 25% savings, at most 25% loss.
+    const auto base = pearlStatic(photonic::WlState::WL64);
+    core::PearlConfig cfg;
+    cfg.reservationWindow = 500;
+    core::ReactivePolicy policy;
+    const auto dyn = metrics::runPearl(pair_, cfg, core::DbaConfig{},
+                                       policy, opts_, "dyn");
+    EXPECT_LT(dyn.laserPowerW, base.laserPowerW * 0.75);
+    EXPECT_GT(dyn.throughputFlitsPerCycle,
+              base.throughputFlitsPerCycle * 0.75);
+    // The scaler genuinely visits low states.
+    EXPECT_GT(dyn.residency[0] + dyn.residency[1] + dyn.residency[2],
+              0.2);
+}
+
+TEST_F(ShapeTest, TurnOnTimeHurtsThroughputNotPower)
+{
+    // Figure 11: laser power varies <~5% across turn-on times while
+    // throughput degrades monotonically-ish.
+    core::DbaConfig dba;
+    core::PearlConfig fast_cfg;
+    fast_cfg.reservationWindow = 500;
+    fast_cfg.laserTurnOnCycles = 4; // 2 ns
+    core::ReactivePolicy p1;
+    const auto fast = metrics::runPearl(pair_, fast_cfg, dba, p1, opts_,
+                                        "2ns");
+
+    core::PearlConfig slow_cfg = fast_cfg;
+    slow_cfg.laserTurnOnCycles = 64; // 32 ns
+    core::ReactivePolicy p2;
+    const auto slow = metrics::runPearl(pair_, slow_cfg, dba, p2, opts_,
+                                        "32ns");
+
+    EXPECT_NEAR(slow.laserPowerW / fast.laserPowerW, 1.0, 0.10);
+    EXPECT_LT(slow.throughputFlitsPerCycle,
+              fast.throughputFlitsPerCycle * 1.02);
+}
+
+TEST_F(ShapeTest, DbaProtectsCpuUnderGpuFlood)
+{
+    // The Section I motivation, network-level: a saturating GPU flood
+    // against a CPU trickle.  Under FCFS the CPU queues behind the GPU;
+    // the DBA must cut CPU latency by at least 2x.
+    auto run = [](core::DbaConfig::Mode mode) {
+        core::PearlConfig cfg;
+        core::DbaConfig dba;
+        dba.mode = mode;
+        photonic::PowerModel power;
+        core::StaticPolicy policy(photonic::WlState::WL64);
+        core::PearlNetwork net(cfg, power, dba, &policy);
+        Rng rng(3);
+        std::uint64_t id = 0;
+        for (sim::Cycle t = 0; t < 12000; ++t) {
+            for (int r = 0; r < 16; ++r) {
+                sim::Packet gpu;
+                gpu.id = ++id;
+                gpu.msgClass = sim::MsgClass::RespGpuL2Down;
+                gpu.src = r;
+                gpu.dst = (r + 1 + static_cast<int>(rng.below(15))) % 17;
+                gpu.sizeBits = sim::kResponseBits;
+                gpu.cycleCreated = t;
+                net.inject(gpu);
+                if (rng.chance(0.02)) {
+                    sim::Packet cpu;
+                    cpu.id = ++id;
+                    cpu.msgClass = sim::MsgClass::ReqCpuL2Down;
+                    cpu.src = r;
+                    cpu.dst = (r + 5) % 17;
+                    cpu.sizeBits = sim::kRequestBits;
+                    cpu.cycleCreated = t;
+                    net.inject(cpu);
+                }
+            }
+            net.step();
+            net.delivered().clear();
+        }
+        return net.stats().avgLatency(sim::CoreType::CPU);
+    };
+    const double fcfs = run(core::DbaConfig::Mode::Fcfs);
+    const double dba = run(core::DbaConfig::Mode::PaperLadder);
+    EXPECT_LT(dba * 2.0, fcfs);
+}
+
+TEST_F(ShapeTest, LargerWindowTradesThroughputDifferently)
+{
+    // RW500 and RW2000 land at different points of the power/perf
+    // frontier (the paper's central trade-off message).
+    core::DbaConfig dba;
+    core::PearlConfig c500;
+    c500.reservationWindow = 500;
+    core::ReactivePolicy p500;
+    const auto rw500 =
+        metrics::runPearl(pair_, c500, dba, p500, opts_, "rw500");
+
+    core::PearlConfig c2000;
+    c2000.reservationWindow = 2000;
+    core::ReactivePolicy p2000;
+    const auto rw2000 =
+        metrics::runPearl(pair_, c2000, dba, p2000, opts_, "rw2000");
+
+    // Different window sizes must not collapse to the same point.
+    const bool differs =
+        std::abs(rw500.laserPowerW - rw2000.laserPowerW) > 0.01 ||
+        std::abs(rw500.throughputFlitsPerCycle -
+                 rw2000.throughputFlitsPerCycle) > 0.05;
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(ShapeTest, CmeshUnfairToCpuUnderLoad)
+{
+    // The electrical baseline has no class protection: CPU packets (long
+    // multi-hop request/response paths) see far worse latency than on
+    // PEARL.
+    const auto pearl = pearlStatic(photonic::WlState::WL64);
+    const auto cmesh = metrics::runCmesh(
+        pair_, electrical::CmeshConfig{}, opts_, "cmesh");
+    EXPECT_GT(cmesh.cpuLatencyCycles, pearl.cpuLatencyCycles);
+}
+
+} // namespace
+} // namespace pearl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Coverage tests for the statistics plumbing: per-class counters and
+ * latencies in NetworkStats, log levels, and telemetry reset semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
+
+namespace pearl {
+namespace sim {
+namespace {
+
+Packet
+statPacket(MsgClass cls, Cycle created, Cycle delivered,
+           int size = kRequestBits)
+{
+    Packet p;
+    p.msgClass = cls;
+    p.sizeBits = size;
+    p.cycleCreated = created;
+    p.cycleDelivered = delivered;
+    return p;
+}
+
+TEST(NetworkStats, PerClassCounters)
+{
+    NetworkStats s;
+    s.noteInjected(statPacket(MsgClass::ReqCpuL2Down, 0, 0));
+    s.noteInjected(statPacket(MsgClass::ReqCpuL2Down, 0, 0));
+    s.noteInjected(statPacket(MsgClass::RespGpuL2Down, 0, 0,
+                              kResponseBits));
+    EXPECT_EQ(s.classInjected(MsgClass::ReqCpuL2Down), 2u);
+    EXPECT_EQ(s.classInjected(MsgClass::RespGpuL2Down), 1u);
+    EXPECT_EQ(s.classInjected(MsgClass::ReqL3), 0u);
+    EXPECT_EQ(s.injectedPackets(), 3u);
+    EXPECT_EQ(s.injectedFlits(), 7u);
+}
+
+TEST(NetworkStats, PerClassLatency)
+{
+    NetworkStats s;
+    s.noteDelivered(statPacket(MsgClass::ReqCpuL2Down, 0, 10));
+    s.noteDelivered(statPacket(MsgClass::ReqCpuL2Down, 0, 20));
+    s.noteDelivered(statPacket(MsgClass::RespGpuL2Down, 0, 100));
+    EXPECT_DOUBLE_EQ(s.avgClassLatency(MsgClass::ReqCpuL2Down), 15.0);
+    EXPECT_DOUBLE_EQ(s.avgClassLatency(MsgClass::RespGpuL2Down), 100.0);
+    EXPECT_DOUBLE_EQ(s.avgClassLatency(MsgClass::ReqL3), 0.0);
+}
+
+TEST(NetworkStats, PerCoreTypeLatency)
+{
+    NetworkStats s;
+    s.noteDelivered(statPacket(MsgClass::ReqCpuL2Down, 0, 10));
+    s.noteDelivered(statPacket(MsgClass::ReqGpuL2Down, 0, 50));
+    EXPECT_DOUBLE_EQ(s.avgLatency(CoreType::CPU), 10.0);
+    EXPECT_DOUBLE_EQ(s.avgLatency(CoreType::GPU), 50.0);
+    EXPECT_DOUBLE_EQ(s.avgLatency(), 30.0);
+}
+
+TEST(NetworkStats, ThroughputCalculations)
+{
+    NetworkStats s;
+    s.noteDelivered(statPacket(MsgClass::RespCpuL2Down, 0, 5,
+                               kResponseBits));
+    EXPECT_DOUBLE_EQ(s.throughputFlitsPerCycle(10), 0.5);
+    EXPECT_DOUBLE_EQ(s.throughputBitsPerCycle(10), 64.0);
+    EXPECT_DOUBLE_EQ(s.throughputFlitsPerCycle(0), 0.0);
+}
+
+TEST(NetworkStats, ResetClearsEverything)
+{
+    NetworkStats s;
+    s.noteInjected(statPacket(MsgClass::ReqCpuL1D, 0, 0));
+    s.noteDelivered(statPacket(MsgClass::ReqCpuL1D, 0, 7));
+    s.reset();
+    EXPECT_EQ(s.injectedPackets(), 0u);
+    EXPECT_EQ(s.deliveredPackets(), 0u);
+    EXPECT_DOUBLE_EQ(s.avgLatency(), 0.0);
+    EXPECT_DOUBLE_EQ(s.latencyQuantile(0.5), 0.0);
+    EXPECT_EQ(s.classDelivered(MsgClass::ReqCpuL1D), 0u);
+}
+
+TEST(NetworkStats, QuantilesOrdered)
+{
+    NetworkStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.noteDelivered(statPacket(MsgClass::ReqCpuL1D, 0,
+                                   static_cast<Cycle>(i)));
+    EXPECT_LE(s.latencyQuantile(0.1), s.latencyQuantile(0.5));
+    EXPECT_LE(s.latencyQuantile(0.5), s.latencyQuantile(0.99));
+    EXPECT_NEAR(s.latencyQuantile(0.5), 50.5, 1.0);
+}
+
+TEST(Telemetry, ResetPreservesNothing)
+{
+    RouterTelemetry t;
+    t.noteClass(MsgClass::ReqCpuL1D);
+    t.cpuCoreBufOccupancy = 3.0;
+    t.packetsInjected = 9;
+    t.wavelengths = 16;
+    t.reset();
+    EXPECT_EQ(t.classCounts[static_cast<int>(MsgClass::ReqCpuL1D)], 0u);
+    EXPECT_DOUBLE_EQ(t.cpuCoreBufOccupancy, 0.0);
+    EXPECT_EQ(t.packetsInjected, 0u);
+    EXPECT_EQ(t.wavelengths, 64); // back to the default
+}
+
+TEST(Log, LevelsSuppressBelowThreshold)
+{
+    std::ostringstream capture;
+    auto *old_stream = Log::stream();
+    const auto old_level = Log::level();
+    Log::stream() = &capture;
+
+    Log::level() = LogLevel::Silent;
+    warn("invisible");
+    inform("invisible");
+    EXPECT_TRUE(capture.str().empty());
+
+    Log::level() = LogLevel::Warn;
+    warn("visible-warning");
+    inform("still-invisible");
+    EXPECT_NE(capture.str().find("visible-warning"), std::string::npos);
+    EXPECT_EQ(capture.str().find("still-invisible"), std::string::npos);
+
+    Log::level() = LogLevel::Info;
+    inform("now-visible");
+    EXPECT_NE(capture.str().find("now-visible"), std::string::npos);
+
+    Log::stream() = old_stream;
+    Log::level() = old_level;
+}
+
+TEST(Log, MessagesAreConcatenated)
+{
+    std::ostringstream capture;
+    auto *old_stream = Log::stream();
+    const auto old_level = Log::level();
+    Log::stream() = &capture;
+    Log::level() = LogLevel::Warn;
+    warn("count=", 42, " name=", "pearl");
+    EXPECT_NE(capture.str().find("count=42 name=pearl"),
+              std::string::npos);
+    Log::stream() = old_stream;
+    Log::level() = old_level;
+}
+
+} // namespace
+} // namespace sim
+} // namespace pearl

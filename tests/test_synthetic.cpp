@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests of the synthetic traffic patterns and latency-load sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/network.hpp"
+#include "electrical/cmesh.hpp"
+#include "photonic/power_model.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace pearl {
+namespace traffic {
+namespace {
+
+SyntheticConfig
+config(Pattern p, double load = 0.05)
+{
+    SyntheticConfig cfg;
+    cfg.pattern = p;
+    cfg.flitsPerSourcePerCycle = load;
+    return cfg;
+}
+
+std::unique_ptr<core::PearlNetwork>
+makePearl(core::StaticPolicy &policy)
+{
+    static photonic::PowerModel power;
+    return std::make_unique<core::PearlNetwork>(
+        core::PearlConfig{}, power, core::DbaConfig{}, &policy);
+}
+
+TEST(Synthetic, PatternNames)
+{
+    EXPECT_STREQ(toString(Pattern::UniformRandom), "uniform-random");
+    EXPECT_STREQ(toString(Pattern::Hotspot), "hotspot");
+}
+
+TEST(Synthetic, TransposeDestinations)
+{
+    SyntheticInjector inj(config(Pattern::Transpose));
+    Rng rng(1);
+    // (x=1,y=0) -> node 1 maps to (0,1) -> node 4.
+    EXPECT_EQ(inj.destination(1, rng), 4);
+    EXPECT_EQ(inj.destination(4, rng), 1);
+    EXPECT_EQ(inj.destination(7, rng), 13);
+    // Diagonal fixed points are remapped away from self.
+    EXPECT_NE(inj.destination(0, rng), 0);
+    EXPECT_NE(inj.destination(5, rng), 5);
+}
+
+TEST(Synthetic, BitComplementDestinations)
+{
+    SyntheticInjector inj(config(Pattern::BitComplement));
+    Rng rng(1);
+    EXPECT_EQ(inj.destination(0, rng), 15);
+    EXPECT_EQ(inj.destination(5, rng), 10);
+    EXPECT_EQ(inj.destination(15, rng), 0);
+}
+
+TEST(Synthetic, HotspotTargetsHotNode)
+{
+    SyntheticConfig cfg = config(Pattern::Hotspot);
+    cfg.hotspotNode = 7;
+    SyntheticInjector inj(cfg);
+    Rng rng(1);
+    for (int s = 0; s < 16; ++s)
+        EXPECT_EQ(inj.destination(s, rng), 7);
+}
+
+TEST(Synthetic, UniformNeverSelf)
+{
+    SyntheticInjector inj(config(Pattern::UniformRandom));
+    Rng rng(9);
+    for (int s = 0; s < 16; ++s) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_NE(inj.destination(s, rng), s);
+    }
+}
+
+TEST(Synthetic, OfferedLoadIsMet)
+{
+    // At a light load the network keeps up and delivered throughput
+    // tracks the offered load (16 sources x load).
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    auto net = makePearl(policy);
+    SyntheticConfig cfg = config(Pattern::UniformRandom, 0.05);
+    SyntheticInjector inj(cfg);
+    const sim::Cycle cycles = 20000;
+    for (sim::Cycle t = 0; t < cycles; ++t)
+        inj.step(*net);
+    const double delivered =
+        net->stats().throughputFlitsPerCycle(cycles);
+    EXPECT_NEAR(delivered, 16 * 0.05, 16 * 0.05 * 0.2);
+    EXPECT_EQ(inj.backlogSize(), 0u);
+}
+
+TEST(Synthetic, SaturationCapsThroughput)
+{
+    // Far beyond capacity the delivered throughput plateaus and a
+    // backlog builds.
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    auto light_net = makePearl(policy);
+    SyntheticInjector light(config(Pattern::UniformRandom, 0.1));
+    auto heavy_net = makePearl(policy);
+    SyntheticInjector heavy(config(Pattern::UniformRandom, 2.0));
+    for (sim::Cycle t = 0; t < 10000; ++t) {
+        light.step(*light_net);
+        heavy.step(*heavy_net);
+    }
+    EXPECT_GT(heavy.backlogSize(), 1000u);
+    // Heavy load delivers more than light but nowhere near 20x.
+    const double light_thr =
+        light_net->stats().throughputFlitsPerCycle(10000);
+    const double heavy_thr =
+        heavy_net->stats().throughputFlitsPerCycle(10000);
+    EXPECT_GT(heavy_thr, light_thr);
+    EXPECT_LT(heavy_thr, light_thr * 10);
+}
+
+TEST(Synthetic, LatencyLoadSweepShape)
+{
+    // The classic curve: latency grows with load; high loads saturate.
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    const auto curve = latencyLoadSweep(
+        [&policy] {
+            static photonic::PowerModel power;
+            return std::make_unique<core::PearlNetwork>(
+                core::PearlConfig{}, power, core::DbaConfig{}, &policy);
+        },
+        {0.02, 0.2, 1.5}, SyntheticConfig{}, 8000);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_LT(curve[0].avgLatencyCycles, curve[2].avgLatencyCycles);
+    EXPECT_FALSE(curve[0].saturated);
+    EXPECT_TRUE(curve[2].saturated);
+}
+
+TEST(Synthetic, WorksOnCmeshToo)
+{
+    electrical::CmeshNetwork net;
+    SyntheticInjector inj(config(Pattern::Neighbor, 0.05));
+    for (sim::Cycle t = 0; t < 5000; ++t)
+        inj.step(net);
+    EXPECT_GT(net.stats().deliveredPackets(), 100u);
+}
+
+TEST(Synthetic, DeterministicPerSeed)
+{
+    auto run = []() {
+        core::StaticPolicy policy(photonic::WlState::WL64);
+        photonic::PowerModel power;
+        core::PearlNetwork net(core::PearlConfig{}, power,
+                               core::DbaConfig{}, &policy);
+        SyntheticInjector inj(config(Pattern::UniformRandom, 0.1));
+        for (sim::Cycle t = 0; t < 3000; ++t)
+            inj.step(net);
+        return net.stats().deliveredFlits();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace traffic
+} // namespace pearl

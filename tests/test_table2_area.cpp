@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests of the Table II area model and the Table I architecture spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arch_config.hpp"
+#include "core/area_model.hpp"
+
+namespace pearl {
+namespace core {
+namespace {
+
+TEST(AreaModel, TableIIConstants)
+{
+    AreaModel a;
+    EXPECT_DOUBLE_EQ(a.clusterMm2, 25.0);
+    EXPECT_DOUBLE_EQ(a.l2PerClusterMm2, 2.1);
+    EXPECT_DOUBLE_EQ(a.opticalComponentsMm2, 24.4);
+    EXPECT_DOUBLE_EQ(a.l3Mm2, 8.5);
+    EXPECT_DOUBLE_EQ(a.routerMm2, 0.342);
+    EXPECT_DOUBLE_EQ(a.laserPerRouterMm2, 0.312);
+    EXPECT_DOUBLE_EQ(a.dynamicAllocationMm2, 0.576);
+    EXPECT_DOUBLE_EQ(a.machineLearningMm2, 0.018);
+    EXPECT_DOUBLE_EQ(a.waveguideWidthUm, 5.28);
+    EXPECT_DOUBLE_EQ(a.mrrDiameterUm, 3.3);
+}
+
+TEST(AreaModel, TotalIsSumOfParts)
+{
+    AreaModel a;
+    const double expected = 25.0 * 16 + 2.1 * 16 + 24.4 + 8.5 +
+                            0.342 * 17 + 0.312 * 17 + 0.576 + 0.018;
+    EXPECT_NEAR(a.totalMm2(), expected, 1e-9);
+}
+
+TEST(AreaModel, AdaptiveOverheadIsTiny)
+{
+    // The paper's point: the DBA + ML hardware is negligible area.
+    AreaModel a;
+    EXPECT_LT(a.adaptiveOverheadFraction(), 0.005);
+    EXPECT_GT(a.adaptiveOverheadFraction(), 0.0);
+}
+
+TEST(AreaModel, ScalesWithClusterCount)
+{
+    AreaModel a;
+    EXPECT_GT(a.totalMm2(16, 17), a.totalMm2(8, 9));
+}
+
+TEST(ArchSpec, TableIConstants)
+{
+    ArchSpec s;
+    EXPECT_EQ(s.cpuCores, 32);
+    EXPECT_EQ(s.gpuComputeUnits, 64);
+    EXPECT_EQ(s.cpuThreadsPerCore, 4);
+    EXPECT_DOUBLE_EQ(s.cpuFreqGhz, 4.0);
+    EXPECT_DOUBLE_EQ(s.gpuFreqGhz, 2.0);
+    EXPECT_DOUBLE_EQ(s.networkFreqGhz, 2.0);
+    EXPECT_EQ(s.l3CacheMb, 8);
+    EXPECT_EQ(s.mainMemoryGb, 16);
+    EXPECT_EQ(s.cpuL1InstrKb, 32);
+    EXPECT_EQ(s.cpuL1DataKb, 64);
+    EXPECT_EQ(s.cpuL2Kb, 256);
+    EXPECT_EQ(s.gpuL1Kb, 64);
+    EXPECT_EQ(s.gpuL2Kb, 512);
+}
+
+TEST(ArchSpec, NetworkCycleIsHalfNanosecond)
+{
+    ArchSpec s;
+    EXPECT_DOUBLE_EQ(s.networkCycleSeconds(), 0.5e-9);
+}
+
+TEST(PearlConfig, DefaultsAreConsistent)
+{
+    PearlConfig cfg;
+    EXPECT_EQ(cfg.numNodes(), cfg.numClusters + 1);
+    EXPECT_EQ(cfg.l3Node, cfg.numClusters);
+    // Laser turn-on default is the paper's 2 ns at the network clock.
+    EXPECT_EQ(cfg.laserTurnOnCycles, 4u);
+    EXPECT_DOUBLE_EQ(cfg.cycleSeconds, 0.5e-9);
+}
+
+} // namespace
+} // namespace core
+} // namespace pearl

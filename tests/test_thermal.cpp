@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of the thermal drift + ring-trimming model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "photonic/thermal.hpp"
+
+namespace pearl {
+namespace photonic {
+namespace {
+
+constexpr double kDt = 0.5e-9;
+
+TEST(Thermal, IdleBankStaysLocked)
+{
+    ThermalRingBank bank(ThermalConfig{}, 128, Rng(3));
+    for (int i = 0; i < 20000; ++i)
+        bank.step(0.0, kDt);
+    EXPECT_TRUE(bank.locked());
+    EXPECT_DOUBLE_EQ(bank.unlockedFraction(), 0.0);
+}
+
+TEST(Thermal, HeaterPowerTracksGap)
+{
+    // At idle the gap is lockPoint - ambient = 20 C; heater power is
+    // rings * perRingPerC * gap.
+    ThermalConfig cfg;
+    cfg.driftSigmaC = 0.0; // deterministic
+    ThermalRingBank bank(cfg, 100, Rng(1));
+    bank.step(0.0, kDt);
+    EXPECT_NEAR(bank.heaterPowerW(), 1.3e-6 * 100 * 20.0, 1e-9);
+}
+
+TEST(Thermal, ActivityReducesHeaterPower)
+{
+    // Switching activity heats the die toward the lock point, so the
+    // heaters back off — trimming power is workload dependent.
+    ThermalConfig cfg;
+    cfg.driftSigmaC = 0.0;
+    ThermalRingBank idle(cfg, 100, Rng(1));
+    ThermalRingBank busy(cfg, 100, Rng(1));
+    idle.step(0.0, kDt);
+    busy.step(1.0, kDt); // 1 W of activity -> +8 C
+    EXPECT_LT(busy.heaterPowerW(), idle.heaterPowerW());
+    EXPECT_NEAR(idle.heaterPowerW() - busy.heaterPowerW(),
+                1.3e-6 * 100 * 8.0, 1e-9);
+}
+
+TEST(Thermal, OverheatingLosesLock)
+{
+    // Enough activity pushes the die past the lock point: heaters can't
+    // cool, so the bank reports loss of lock.
+    ThermalConfig cfg;
+    cfg.driftSigmaC = 0.0;
+    ThermalRingBank bank(cfg, 100, Rng(1));
+    bank.step(3.0, kDt); // +24 C > 20 C gap
+    EXPECT_FALSE(bank.locked());
+    EXPECT_DOUBLE_EQ(bank.heaterPowerW(), 0.0);
+    EXPECT_GT(bank.unlockedFraction(), 0.0);
+}
+
+TEST(Thermal, HeaterRangeSaturation)
+{
+    // A very cold die exceeds the heater range: saturated power, no lock.
+    ThermalConfig cfg;
+    cfg.driftSigmaC = 0.0;
+    cfg.ambientC = 20.0;
+    cfg.lockPointC = 65.0; // 45 C gap > 25 C range
+    ThermalRingBank bank(cfg, 100, Rng(1));
+    bank.step(0.0, kDt);
+    EXPECT_FALSE(bank.locked());
+    EXPECT_NEAR(bank.heaterPowerW(), 1.3e-6 * 100 * 25.0, 1e-9);
+}
+
+TEST(Thermal, EnergyAccumulates)
+{
+    ThermalConfig cfg;
+    cfg.driftSigmaC = 0.0;
+    ThermalRingBank bank(cfg, 100, Rng(1));
+    for (int i = 0; i < 1000; ++i)
+        bank.step(0.0, kDt);
+    EXPECT_NEAR(bank.heaterEnergyJ(),
+                1.3e-6 * 100 * 20.0 * 1000 * kDt, 1e-15);
+}
+
+TEST(Thermal, DriftStaysBounded)
+{
+    // Mean reversion keeps the random walk from wandering off.
+    ThermalRingBank bank(ThermalConfig{}, 128, Rng(11));
+    double max_dev = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+        bank.step(0.0, kDt);
+        max_dev = std::max(
+            max_dev, std::abs(bank.dieTemperatureC() -
+                              ThermalConfig{}.ambientC));
+    }
+    EXPECT_LT(max_dev, 10.0);
+    EXPECT_GT(max_dev, 0.01); // and it does move
+}
+
+TEST(Thermal, DeterministicPerSeed)
+{
+    ThermalRingBank a(ThermalConfig{}, 64, Rng(9));
+    ThermalRingBank b(ThermalConfig{}, 64, Rng(9));
+    for (int i = 0; i < 1000; ++i) {
+        a.step(0.1, kDt);
+        b.step(0.1, kDt);
+    }
+    EXPECT_DOUBLE_EQ(a.dieTemperatureC(), b.dieTemperatureC());
+    EXPECT_DOUBLE_EQ(a.heaterEnergyJ(), b.heaterEnergyJ());
+}
+
+} // namespace
+} // namespace photonic
+} // namespace pearl

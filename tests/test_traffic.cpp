@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the synthetic traffic substrate: profiles, the benchmark
+ * suite splits, the demand generator and the global phase process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "traffic/generator.hpp"
+#include "traffic/suite.hpp"
+
+namespace pearl {
+namespace traffic {
+namespace {
+
+TEST(Profile, OnFraction)
+{
+    BenchmarkProfile p;
+    p.pOnToOff = 0.01;
+    p.pOffToOn = 0.03;
+    EXPECT_NEAR(p.onFraction(), 0.75, 1e-12);
+    p.pOnToOff = 0.0;
+    p.pOffToOn = 0.0;
+    EXPECT_DOUBLE_EQ(p.onFraction(), 1.0);
+}
+
+TEST(Profile, MeanAccessRate)
+{
+    BenchmarkProfile p;
+    p.pOnToOff = 0.01;
+    p.pOffToOn = 0.01; // 50% on
+    p.accessRateOn = 0.2;
+    p.accessRateOff = 0.0;
+    EXPECT_NEAR(p.meanAccessRate(), 0.1, 1e-12);
+}
+
+TEST(Suite, TwelvePlusTwelveProfiles)
+{
+    BenchmarkSuite suite;
+    EXPECT_EQ(suite.cpuBenchmarks().size(), 12u);
+    EXPECT_EQ(suite.gpuBenchmarks().size(), 12u);
+    for (const auto &p : suite.cpuBenchmarks())
+        EXPECT_EQ(p.coreType, sim::CoreType::CPU);
+    for (const auto &p : suite.gpuBenchmarks())
+        EXPECT_EQ(p.coreType, sim::CoreType::GPU);
+}
+
+TEST(Suite, TableIVTestBenchmarks)
+{
+    // The test benchmarks are exactly the ones Table IV names.
+    BenchmarkSuite suite;
+    EXPECT_EQ(suite.find("FA").name, "Fluid Animate");
+    EXPECT_EQ(suite.find("fmm").name, "Fast Multipole Method");
+    EXPECT_EQ(suite.find("Rad").name, "Radiosity");
+    EXPECT_EQ(suite.find("x264").name, "x264");
+    EXPECT_EQ(suite.find("DCT").name, "Discrete Cosine Transforms");
+    EXPECT_EQ(suite.find("Dwrt").name, "1-D Haar Wavelet Transform");
+    EXPECT_EQ(suite.find("QRS").name, "Quasi Random Sequence");
+    EXPECT_EQ(suite.find("Reduc").name, "Reduction");
+}
+
+TEST(Suite, SplitSizes)
+{
+    // 6x6 training, 2x2 validation, 4x4 test (Section IV-A).
+    BenchmarkSuite suite;
+    EXPECT_EQ(suite.trainingPairs().size(), 36u);
+    EXPECT_EQ(suite.validationPairs().size(), 4u);
+    EXPECT_EQ(suite.testPairs().size(), 16u);
+}
+
+TEST(Suite, SplitsAreDisjoint)
+{
+    BenchmarkSuite suite;
+    std::set<std::string> train, val, test;
+    for (const auto &p : suite.trainingPairs()) {
+        train.insert(p.cpu.abbrev);
+        train.insert(p.gpu.abbrev);
+    }
+    for (const auto &p : suite.validationPairs()) {
+        val.insert(p.cpu.abbrev);
+        val.insert(p.gpu.abbrev);
+    }
+    for (const auto &p : suite.testPairs()) {
+        test.insert(p.cpu.abbrev);
+        test.insert(p.gpu.abbrev);
+    }
+    for (const auto &b : test) {
+        EXPECT_EQ(train.count(b), 0u) << b;
+        EXPECT_EQ(val.count(b), 0u) << b;
+    }
+    for (const auto &b : val)
+        EXPECT_EQ(train.count(b), 0u) << b;
+}
+
+TEST(Suite, PairLabels)
+{
+    BenchmarkSuite suite;
+    BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};
+    EXPECT_EQ(pair.label(), "FA+DCT");
+}
+
+TEST(Generator, DeterministicWithSeed)
+{
+    BenchmarkSuite suite;
+    const auto prof = suite.find("FA");
+    CoreDemandGenerator a(prof, 5, Rng(123));
+    CoreDemandGenerator b(prof, 5, Rng(123));
+    for (int i = 0; i < 2000; ++i) {
+        auto ra = a.tick();
+        auto rb = b.tick();
+        ASSERT_EQ(ra.has_value(), rb.has_value());
+        if (ra) {
+            EXPECT_EQ(ra->lineAddr, rb->lineAddr);
+            EXPECT_EQ(ra->write, rb->write);
+            EXPECT_EQ(ra->instr, rb->instr);
+        }
+    }
+}
+
+TEST(Generator, RateMatchesProfile)
+{
+    BenchmarkProfile p;
+    p.coreType = sim::CoreType::CPU;
+    p.accessRateOn = 0.25;
+    p.accessRateOff = 0.25; // phase-independent
+    p.instrFraction = 0.0;
+    CoreDemandGenerator gen(p, 0, Rng(9));
+    int issued = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        issued += gen.tick().has_value();
+    EXPECT_NEAR(static_cast<double>(issued) / n, 0.25, 0.02);
+}
+
+TEST(Generator, AddressesStayInRegions)
+{
+    BenchmarkSuite suite;
+    auto prof = suite.find("DCT");
+    prof.accessRateOn = 1.0;
+    prof.accessRateOff = 1.0;
+    CoreDemandGenerator gen(prof, 33, Rng(4));
+    const std::uint64_t priv = AddressSpace::privateBase(33);
+    const std::uint64_t shared = AddressSpace::sharedBase(sim::CoreType::GPU);
+    for (int i = 0; i < 5000; ++i) {
+        auto acc = gen.tick();
+        ASSERT_TRUE(acc.has_value());
+        const bool in_priv =
+            acc->lineAddr >= priv &&
+            acc->lineAddr < priv + prof.workingSetLines + (1ULL << 29);
+        const bool in_shared =
+            acc->lineAddr >= shared &&
+            acc->lineAddr < shared + AddressSpace::kSharedLines;
+        EXPECT_TRUE(in_priv || in_shared) << acc->lineAddr;
+    }
+}
+
+TEST(Generator, StreamingReusesLines)
+{
+    // Eight consecutive stream accesses land in the same cache line.
+    BenchmarkProfile p;
+    p.coreType = sim::CoreType::CPU;
+    p.accessRateOn = 1.0;
+    p.accessRateOff = 1.0;
+    p.streamFraction = 1.0;
+    p.instrFraction = 0.0;
+    p.writeFraction = 0.0;
+    p.sharedFraction = 0.0;
+    CoreDemandGenerator gen(p, 0, Rng(6));
+    std::set<std::uint64_t> lines;
+    const int n = 800;
+    for (int i = 0; i < n; ++i)
+        lines.insert(gen.tick()->lineAddr);
+    // ~n/8 distinct lines.
+    EXPECT_NEAR(static_cast<double>(lines.size()), n / 8.0, 4.0);
+}
+
+TEST(Generator, InstrFractionRespected)
+{
+    BenchmarkProfile p;
+    p.coreType = sim::CoreType::CPU;
+    p.accessRateOn = 1.0;
+    p.accessRateOff = 1.0;
+    p.instrFraction = 0.4;
+    CoreDemandGenerator gen(p, 0, Rng(10));
+    int instr = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        instr += gen.tick()->instr;
+    EXPECT_NEAR(static_cast<double>(instr) / n, 0.4, 0.02);
+}
+
+TEST(Generator, InstructionFetchesNeverWrite)
+{
+    BenchmarkProfile p;
+    p.coreType = sim::CoreType::CPU;
+    p.accessRateOn = 1.0;
+    p.accessRateOff = 1.0;
+    p.instrFraction = 0.5;
+    p.writeFraction = 1.0;
+    CoreDemandGenerator gen(p, 0, Rng(12));
+    for (int i = 0; i < 5000; ++i) {
+        auto acc = gen.tick();
+        if (acc->instr) {
+            EXPECT_FALSE(acc->write);
+        }
+    }
+}
+
+TEST(GlobalPhase, LongRunOnFraction)
+{
+    GlobalPhase phase(0.001, 0.003, Rng(77)); // expect 75% on
+    int on = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        phase.tick();
+        on += phase.on();
+    }
+    EXPECT_NEAR(static_cast<double>(on) / n, 0.75, 0.05);
+}
+
+TEST(GlobalPhase, SharedPhaseSynchronisesCores)
+{
+    BenchmarkProfile p;
+    p.coreType = sim::CoreType::GPU;
+    p.accessRateOn = 1.0;
+    p.accessRateOff = 0.0;
+    GlobalPhase phase(0.01, 0.01, Rng(3));
+    CoreDemandGenerator a(p, 0, Rng(1), &phase);
+    CoreDemandGenerator b(p, 1, Rng(2), &phase);
+    for (int i = 0; i < 5000; ++i) {
+        phase.tick();
+        const bool ia = a.tick().has_value();
+        const bool ib = b.tick().has_value();
+        // With rate 1/0, issuance equals the shared phase for both.
+        EXPECT_EQ(ia, phase.on());
+        EXPECT_EQ(ib, phase.on());
+    }
+}
+
+TEST(Suite, FindUnknownAborts)
+{
+    BenchmarkSuite suite;
+    EXPECT_EXIT(suite.find("nope"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+} // namespace
+} // namespace traffic
+} // namespace pearl
