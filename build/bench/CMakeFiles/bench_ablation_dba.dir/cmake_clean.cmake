@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dba.dir/bench_ablation_dba.cpp.o"
+  "CMakeFiles/bench_ablation_dba.dir/bench_ablation_dba.cpp.o.d"
+  "bench_ablation_dba"
+  "bench_ablation_dba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

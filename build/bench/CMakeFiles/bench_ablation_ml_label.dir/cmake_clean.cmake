@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ml_label.dir/bench_ablation_ml_label.cpp.o"
+  "CMakeFiles/bench_ablation_ml_label.dir/bench_ablation_ml_label.cpp.o.d"
+  "bench_ablation_ml_label"
+  "bench_ablation_ml_label.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ml_label.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_swmr_mwsr.dir/bench_ablation_swmr_mwsr.cpp.o"
+  "CMakeFiles/bench_ablation_swmr_mwsr.dir/bench_ablation_swmr_mwsr.cpp.o.d"
+  "bench_ablation_swmr_mwsr"
+  "bench_ablation_swmr_mwsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_swmr_mwsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_thermal.dir/bench_ablation_thermal.cpp.o"
+  "CMakeFiles/bench_ablation_thermal.dir/bench_ablation_thermal.cpp.o.d"
+  "bench_ablation_thermal"
+  "bench_ablation_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_online_ml.dir/bench_ext_online_ml.cpp.o"
+  "CMakeFiles/bench_ext_online_ml.dir/bench_ext_online_ml.cpp.o.d"
+  "bench_ext_online_ml"
+  "bench_ext_online_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_online_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_turnon.dir/bench_fig11_turnon.cpp.o"
+  "CMakeFiles/bench_fig11_turnon.dir/bench_fig11_turnon.cpp.o.d"
+  "bench_fig11_turnon"
+  "bench_fig11_turnon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_turnon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

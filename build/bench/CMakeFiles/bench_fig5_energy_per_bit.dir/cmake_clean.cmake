@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_energy_per_bit.dir/bench_fig5_energy_per_bit.cpp.o"
+  "CMakeFiles/bench_fig5_energy_per_bit.dir/bench_fig5_energy_per_bit.cpp.o.d"
+  "bench_fig5_energy_per_bit"
+  "bench_fig5_energy_per_bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_energy_per_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_energy_per_bit.
+# This may be replaced when dependencies are built.

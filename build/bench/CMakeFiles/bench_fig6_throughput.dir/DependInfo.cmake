@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_throughput.cpp" "bench/CMakeFiles/bench_fig6_throughput.dir/bench_fig6_throughput.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_throughput.dir/bench_fig6_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/pearl_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pearl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pearl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrical/CMakeFiles/pearl_electrical.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonic/CMakeFiles/pearl_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pearl_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pearl_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

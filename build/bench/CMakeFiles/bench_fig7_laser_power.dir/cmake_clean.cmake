@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_laser_power.dir/bench_fig7_laser_power.cpp.o"
+  "CMakeFiles/bench_fig7_laser_power.dir/bench_fig7_laser_power.cpp.o.d"
+  "bench_fig7_laser_power"
+  "bench_fig7_laser_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_laser_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

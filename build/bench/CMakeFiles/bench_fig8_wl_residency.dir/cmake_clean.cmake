@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wl_residency.dir/bench_fig8_wl_residency.cpp.o"
+  "CMakeFiles/bench_fig8_wl_residency.dir/bench_fig8_wl_residency.cpp.o.d"
+  "bench_fig8_wl_residency"
+  "bench_fig8_wl_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wl_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

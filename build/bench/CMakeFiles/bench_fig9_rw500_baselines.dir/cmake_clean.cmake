@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_rw500_baselines.dir/bench_fig9_rw500_baselines.cpp.o"
+  "CMakeFiles/bench_fig9_rw500_baselines.dir/bench_fig9_rw500_baselines.cpp.o.d"
+  "bench_fig9_rw500_baselines"
+  "bench_fig9_rw500_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rw500_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nrmse_ml.dir/bench_nrmse_ml.cpp.o"
+  "CMakeFiles/bench_nrmse_ml.dir/bench_nrmse_ml.cpp.o.d"
+  "bench_nrmse_ml"
+  "bench_nrmse_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nrmse_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_optics.dir/bench_table5_optics.cpp.o"
+  "CMakeFiles/bench_table5_optics.dir/bench_table5_optics.cpp.o.d"
+  "bench_table5_optics"
+  "bench_table5_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_table1_config_smoke "/root/repo/build/bench/bench_table1_config")
+set_tests_properties(bench_table1_config_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table2_area_smoke "/root/repo/build/bench/bench_table2_area")
+set_tests_properties(bench_table2_area_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table3_features_smoke "/root/repo/build/bench/bench_table3_features")
+set_tests_properties(bench_table3_features_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table4_benchmarks_smoke "/root/repo/build/bench/bench_table4_benchmarks")
+set_tests_properties(bench_table4_benchmarks_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table5_optics_smoke "/root/repo/build/bench/bench_table5_optics")
+set_tests_properties(bench_table5_optics_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")

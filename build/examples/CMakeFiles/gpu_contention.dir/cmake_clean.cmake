@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_contention.dir/gpu_contention.cpp.o"
+  "CMakeFiles/gpu_contention.dir/gpu_contention.cpp.o.d"
+  "gpu_contention"
+  "gpu_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_workflow.dir/ml_workflow.cpp.o"
+  "CMakeFiles/ml_workflow.dir/ml_workflow.cpp.o.d"
+  "ml_workflow"
+  "ml_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

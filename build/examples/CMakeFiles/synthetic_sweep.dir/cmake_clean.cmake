@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_sweep.dir/synthetic_sweep.cpp.o"
+  "CMakeFiles/synthetic_sweep.dir/synthetic_sweep.cpp.o.d"
+  "synthetic_sweep"
+  "synthetic_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearl_cache.dir/cluster.cpp.o"
+  "CMakeFiles/pearl_cache.dir/cluster.cpp.o.d"
+  "CMakeFiles/pearl_cache.dir/l3.cpp.o"
+  "CMakeFiles/pearl_cache.dir/l3.cpp.o.d"
+  "libpearl_cache.a"
+  "libpearl_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearl_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

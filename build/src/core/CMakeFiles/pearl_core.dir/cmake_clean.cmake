@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearl_core.dir/mwsr_network.cpp.o"
+  "CMakeFiles/pearl_core.dir/mwsr_network.cpp.o.d"
+  "CMakeFiles/pearl_core.dir/network.cpp.o"
+  "CMakeFiles/pearl_core.dir/network.cpp.o.d"
+  "CMakeFiles/pearl_core.dir/router.cpp.o"
+  "CMakeFiles/pearl_core.dir/router.cpp.o.d"
+  "CMakeFiles/pearl_core.dir/system.cpp.o"
+  "CMakeFiles/pearl_core.dir/system.cpp.o.d"
+  "libpearl_core.a"
+  "libpearl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

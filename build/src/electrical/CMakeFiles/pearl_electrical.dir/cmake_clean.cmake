@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearl_electrical.dir/cmesh.cpp.o"
+  "CMakeFiles/pearl_electrical.dir/cmesh.cpp.o.d"
+  "libpearl_electrical.a"
+  "libpearl_electrical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearl_electrical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

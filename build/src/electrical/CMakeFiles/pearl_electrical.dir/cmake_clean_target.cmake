@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpearl_electrical.a"
+)

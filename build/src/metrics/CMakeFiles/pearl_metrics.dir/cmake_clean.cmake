@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearl_metrics.dir/experiment.cpp.o"
+  "CMakeFiles/pearl_metrics.dir/experiment.cpp.o.d"
+  "libpearl_metrics.a"
+  "libpearl_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearl_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/pearl_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/pearl_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/pearl_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/pearl_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/online_ridge.cpp" "src/ml/CMakeFiles/pearl_ml.dir/online_ridge.cpp.o" "gcc" "src/ml/CMakeFiles/pearl_ml.dir/online_ridge.cpp.o.d"
+  "/root/repo/src/ml/pipeline.cpp" "src/ml/CMakeFiles/pearl_ml.dir/pipeline.cpp.o" "gcc" "src/ml/CMakeFiles/pearl_ml.dir/pipeline.cpp.o.d"
+  "/root/repo/src/ml/ridge.cpp" "src/ml/CMakeFiles/pearl_ml.dir/ridge.cpp.o" "gcc" "src/ml/CMakeFiles/pearl_ml.dir/ridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pearl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonic/CMakeFiles/pearl_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pearl_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pearl_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearl_ml.dir/features.cpp.o"
+  "CMakeFiles/pearl_ml.dir/features.cpp.o.d"
+  "CMakeFiles/pearl_ml.dir/matrix.cpp.o"
+  "CMakeFiles/pearl_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/pearl_ml.dir/online_ridge.cpp.o"
+  "CMakeFiles/pearl_ml.dir/online_ridge.cpp.o.d"
+  "CMakeFiles/pearl_ml.dir/pipeline.cpp.o"
+  "CMakeFiles/pearl_ml.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pearl_ml.dir/ridge.cpp.o"
+  "CMakeFiles/pearl_ml.dir/ridge.cpp.o.d"
+  "libpearl_ml.a"
+  "libpearl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

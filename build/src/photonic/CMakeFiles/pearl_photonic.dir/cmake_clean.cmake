@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearl_photonic.dir/loss_budget.cpp.o"
+  "CMakeFiles/pearl_photonic.dir/loss_budget.cpp.o.d"
+  "CMakeFiles/pearl_photonic.dir/power_model.cpp.o"
+  "CMakeFiles/pearl_photonic.dir/power_model.cpp.o.d"
+  "libpearl_photonic.a"
+  "libpearl_photonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearl_photonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

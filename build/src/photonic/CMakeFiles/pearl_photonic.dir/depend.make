@@ -1,0 +1,2 @@
+# Empty dependencies file for pearl_photonic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/suite.cpp" "src/traffic/CMakeFiles/pearl_traffic.dir/suite.cpp.o" "gcc" "src/traffic/CMakeFiles/pearl_traffic.dir/suite.cpp.o.d"
+  "/root/repo/src/traffic/synthetic.cpp" "src/traffic/CMakeFiles/pearl_traffic.dir/synthetic.cpp.o" "gcc" "src/traffic/CMakeFiles/pearl_traffic.dir/synthetic.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/traffic/CMakeFiles/pearl_traffic.dir/trace.cpp.o" "gcc" "src/traffic/CMakeFiles/pearl_traffic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearl_traffic.dir/suite.cpp.o"
+  "CMakeFiles/pearl_traffic.dir/suite.cpp.o.d"
+  "CMakeFiles/pearl_traffic.dir/synthetic.cpp.o"
+  "CMakeFiles/pearl_traffic.dir/synthetic.cpp.o.d"
+  "CMakeFiles/pearl_traffic.dir/trace.cpp.o"
+  "CMakeFiles/pearl_traffic.dir/trace.cpp.o.d"
+  "libpearl_traffic.a"
+  "libpearl_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearl_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_array.dir/test_cache_array.cpp.o"
+  "CMakeFiles/test_cache_array.dir/test_cache_array.cpp.o.d"
+  "test_cache_array"
+  "test_cache_array.pdb"
+  "test_cache_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

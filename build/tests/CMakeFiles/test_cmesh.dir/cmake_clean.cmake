@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmesh.dir/test_cmesh.cpp.o"
+  "CMakeFiles/test_cmesh.dir/test_cmesh.cpp.o.d"
+  "test_cmesh"
+  "test_cmesh.pdb"
+  "test_cmesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

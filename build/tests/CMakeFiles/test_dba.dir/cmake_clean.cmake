@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dba.dir/test_dba.cpp.o"
+  "CMakeFiles/test_dba.dir/test_dba.cpp.o.d"
+  "test_dba"
+  "test_dba.pdb"
+  "test_dba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l3_bank.dir/test_l3_bank.cpp.o"
+  "CMakeFiles/test_l3_bank.dir/test_l3_bank.cpp.o.d"
+  "test_l3_bank"
+  "test_l3_bank.pdb"
+  "test_l3_bank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l3_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

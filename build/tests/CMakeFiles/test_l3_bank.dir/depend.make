@@ -1,0 +1,2 @@
+# Empty dependencies file for test_l3_bank.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_features.dir/test_ml_features.cpp.o"
+  "CMakeFiles/test_ml_features.dir/test_ml_features.cpp.o.d"
+  "test_ml_features"
+  "test_ml_features.pdb"
+  "test_ml_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

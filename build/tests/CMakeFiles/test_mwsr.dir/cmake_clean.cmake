@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mwsr.dir/test_mwsr.cpp.o"
+  "CMakeFiles/test_mwsr.dir/test_mwsr.cpp.o.d"
+  "test_mwsr"
+  "test_mwsr.pdb"
+  "test_mwsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mwsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmoesi.dir/test_nmoesi.cpp.o"
+  "CMakeFiles/test_nmoesi.dir/test_nmoesi.cpp.o.d"
+  "test_nmoesi"
+  "test_nmoesi.pdb"
+  "test_nmoesi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmoesi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

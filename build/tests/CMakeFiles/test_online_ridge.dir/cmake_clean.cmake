@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_ridge.dir/test_online_ridge.cpp.o"
+  "CMakeFiles/test_online_ridge.dir/test_online_ridge.cpp.o.d"
+  "test_online_ridge"
+  "test_online_ridge.pdb"
+  "test_online_ridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pearl_router.dir/test_pearl_router.cpp.o"
+  "CMakeFiles/test_pearl_router.dir/test_pearl_router.cpp.o.d"
+  "test_pearl_router"
+  "test_pearl_router.pdb"
+  "test_pearl_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pearl_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

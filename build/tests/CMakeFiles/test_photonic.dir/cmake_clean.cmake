@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_photonic.dir/test_photonic.cpp.o"
+  "CMakeFiles/test_photonic.dir/test_photonic.cpp.o.d"
+  "test_photonic"
+  "test_photonic.pdb"
+  "test_photonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_photonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_policy.dir/test_power_policy.cpp.o"
+  "CMakeFiles/test_power_policy.dir/test_power_policy.cpp.o.d"
+  "test_power_policy"
+  "test_power_policy.pdb"
+  "test_power_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ridge.dir/test_ridge.cpp.o"
+  "CMakeFiles/test_ridge.dir/test_ridge.cpp.o.d"
+  "test_ridge"
+  "test_ridge.pdb"
+  "test_ridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

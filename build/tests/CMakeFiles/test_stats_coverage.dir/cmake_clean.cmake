@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_coverage.dir/test_stats_coverage.cpp.o"
+  "CMakeFiles/test_stats_coverage.dir/test_stats_coverage.cpp.o.d"
+  "test_stats_coverage"
+  "test_stats_coverage.pdb"
+  "test_stats_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

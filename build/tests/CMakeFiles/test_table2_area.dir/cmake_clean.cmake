@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table2_area.dir/test_table2_area.cpp.o"
+  "CMakeFiles/test_table2_area.dir/test_table2_area.cpp.o.d"
+  "test_table2_area"
+  "test_table2_area.pdb"
+  "test_table2_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table2_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
