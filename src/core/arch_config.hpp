@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "photonic/faults.hpp"
 #include "photonic/thermal.hpp"
 #include "photonic/wl_state.hpp"
 
@@ -89,6 +90,26 @@ struct PearlConfig
      */
     bool useThermalModel = false;
     photonic::ThermalConfig thermal;
+
+    /**
+     * Fault-injection scenario (disabled by default).  When
+     * `faults.enabled` is false no fault draws happen, no retransmission
+     * state is kept, and the network behaves bit-identically to the
+     * ideal-fabric model.
+     */
+    photonic::FaultConfig faults;
+
+    // End-to-end recovery (active only when the fault plane is on).
+    /** Cycles a source waits for an ACK before re-arming a packet.
+     *  Must comfortably exceed linkLatencyCycles. */
+    std::uint64_t ackTimeoutCycles = 128;
+    /** Maximum retransmission attempts before a packet is dropped and
+     *  counted in NetworkStats::droppedPackets(). */
+    int retryLimit = 8;
+    /** First-retry backoff in cycles; doubles per attempt. */
+    std::uint64_t retxBackoffBase = 8;
+    /** Upper bound of the exponential retransmit backoff, cycles. */
+    std::uint64_t retxBackoffMax = 1024;
 
     // Electrical back-end static power of one PEARL router (crossbar,
     // buffers, control), watts.

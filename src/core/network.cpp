@@ -1,5 +1,8 @@
 #include "core/network.hpp"
 
+#include <algorithm>
+#include <ostream>
+
 #include "common/log.hpp"
 
 namespace pearl {
@@ -23,6 +26,15 @@ PearlNetwork::PearlNetwork(const PearlConfig &cfg,
     PEARL_ASSERT(policy_, "PearlNetwork requires a power policy");
     l3Power_ = routerPower_.scaled(
         static_cast<double>(cfg_.l3WaveguideGroup));
+    if (cfg_.faults.enabled) {
+        PEARL_ASSERT(cfg_.ackTimeoutCycles >
+                         2 * static_cast<std::uint64_t>(
+                                 cfg_.linkLatencyCycles),
+                     "ackTimeoutCycles must exceed the ACK round trip");
+        faults_ = photonic::FaultInjector(cfg_.faults, cfg_.numNodes());
+        nextSeq_.assign(static_cast<std::size_t>(cfg_.numNodes()), 0);
+        outstanding_.resize(static_cast<std::size_t>(cfg_.numNodes()));
+    }
     routers_.reserve(static_cast<std::size_t>(cfg_.numNodes()));
     Rng thermal_rng(0xA11CE);
     for (int r = 0; r < cfg_.numNodes(); ++r) {
@@ -71,12 +83,47 @@ PearlNetwork::isWindowBoundary(int router, Cycle now) const
 void
 PearlNetwork::step()
 {
+    // 0. Fault plane: advance bank fail/repair processes, fire ACK
+    //    timeouts, and re-enter due retransmissions at their sources.
+    if (faults_.enabled())
+        stepFaultPlane();
+
     // 1. Land due arrivals into receive buffers; full buffers retry.
     std::vector<InFlight> retry;
     while (!inFlight_.empty() && inFlight_.top().due <= cycle_) {
         InFlight f = inFlight_.top();
         inFlight_.pop();
         auto &dst = *routers_[static_cast<std::size_t>(f.pkt.dst)];
+        if (faults_.enabled() && !f.faultChecked) {
+            // One BER draw per arrival (not per rx-buffer retry).
+            f.faultChecked = true;
+            double trim_gap = 0.0;
+            bool locked = true;
+            receiverThermal(f.pkt.dst, trim_gap, locked);
+            auto &src_outstanding =
+                outstanding_[static_cast<std::size_t>(f.pkt.src)];
+            auto it = src_outstanding.find(f.pkt.seq);
+            if (faults_.corruptsPacket(f.pkt.dst, f.pkt.sizeBits,
+                                       trim_gap, locked)) {
+                // Bad CRC at the receiver: NACK the source.  The NACK
+                // rides the (ideal) control plane back in one link
+                // latency, then the bounded backoff applies.
+                stats_.noteCorrupted(f.pkt);
+                ++dst.telemetry().corruptedArrivals;
+                if (it != src_outstanding.end()) {
+                    Outstanding entry = std::move(it->second);
+                    src_outstanding.erase(it);
+                    armRetry(std::move(entry),
+                             static_cast<Cycle>(cfg_.linkLatencyCycles));
+                }
+                continue; // corrupted flits never enter the rx buffer
+            }
+            // Clean arrival: the ACK retires the source's copy.  The
+            // rx-buffer retry loop below is lossless, so acknowledging
+            // here cannot create duplicates.
+            if (it != src_outstanding.end())
+                src_outstanding.erase(it);
+        }
         if (!dst.rxEnqueue(f.pkt)) {
             f.due = cycle_ + 1;
             retry.push_back(std::move(f));
@@ -90,12 +137,27 @@ PearlNetwork::step()
     std::vector<int> bits_per_router(routers_.size(), 0);
     for (std::size_t r = 0; r < routers_.size(); ++r) {
         auto &router = routers_[r];
+        if (faults_.enabled())
+            router->setWlCap(faults_.wlCap(static_cast<int>(r)));
         done.clear();
         const int bits = router->transmitCycle(cycle_, done);
         bits_per_router[r] = bits;
         dynamicEnergyJ_ +=
             static_cast<double>(bits) * routerPower_.dynamicEnergyPerBitJ();
         for (auto &completion : done) {
+            if (faults_.enabled()) {
+                Packet &pkt = completion.pkt;
+                if (pkt.attempt == 0)
+                    pkt.seq = nextSeq_[r]++;
+                trackTransmission(pkt);
+                if (faults_.dropsReservation(static_cast<int>(r))) {
+                    // The receive rings were never tuned: the flits
+                    // sail past an untuned detector.  Only the ACK
+                    // timeout recovers this loss.
+                    stats_.noteReservationDrop();
+                    continue;
+                }
+            }
             inFlight_.push(InFlight{
                 cycle_ + static_cast<Cycle>(cfg_.linkLatencyCycles),
                 std::move(completion.pkt)});
@@ -126,6 +188,12 @@ PearlNetwork::step()
             auto &bank = thermal_[r];
             bank.step(activity_w, cfg_.cycleSeconds);
             trimmingEnergyJ_ += bank.heaterPowerW() * cfg_.cycleSeconds;
+            if (!bank.locked()) {
+                // Loss of lock is counted even with the fault plane
+                // off; with it on, the BER model also reacts (stage 1).
+                stats_.noteThermalUnlocked(static_cast<int>(r));
+                ++router->telemetry().outOfLockCycles;
+            }
         } else {
             trimmingEnergyJ_ +=
                 routerPower_.trimmingPowerW(
@@ -149,8 +217,13 @@ PearlNetwork::step()
         obs.telemetry = &router.telemetry();
         obs.windowCycles = cfg_.reservationWindow;
         obs.windowEnd = cycle_;
+        obs.wlCeiling = faults_.wlCap(r);
 
-        const photonic::WlState next = policy_->nextState(obs);
+        // Clamp the policy's choice to what the surviving laser banks
+        // can sustain: policies degrade instead of commanding (and
+        // paying stabilisation for) unavailable states.
+        const photonic::WlState next = photonic::clampToCap(
+            policy_->nextState(obs), obs.wlCeiling);
 
         if (collector_) {
             WindowRecord rec;
@@ -171,16 +244,143 @@ PearlNetwork::step()
     ++cycle_;
 }
 
+void
+PearlNetwork::receiverThermal(int node, double &trim_gap_c,
+                              bool &locked) const
+{
+    trim_gap_c = 0.0;
+    locked = true;
+    if (!cfg_.useThermalModel)
+        return;
+    const auto &bank = thermal_[static_cast<std::size_t>(node)];
+    locked = bank.locked();
+    trim_gap_c = std::max(
+        0.0, bank.config().lockPointC - bank.dieTemperatureC());
+}
+
+void
+PearlNetwork::trackTransmission(const Packet &pkt)
+{
+    auto &src_outstanding =
+        outstanding_[static_cast<std::size_t>(pkt.src)];
+    src_outstanding[pkt.seq] = Outstanding{pkt, pkt.attempt};
+    timeouts_.push(TimeoutEvent{cycle_ + cfg_.ackTimeoutCycles, pkt.src,
+                                pkt.seq, pkt.attempt});
+}
+
+void
+PearlNetwork::armRetry(Outstanding &&entry, Cycle delay)
+{
+    if (static_cast<int>(entry.attempt) >= cfg_.retryLimit) {
+        // Retry budget spent: the loss is surfaced as a counted drop,
+        // never silently swallowed.
+        stats_.noteDropped(entry.pkt);
+        ++routers_[static_cast<std::size_t>(entry.pkt.src)]
+              ->telemetry()
+              .packetsDropped;
+        return;
+    }
+    // Bounded exponential backoff keyed on the attempt that failed.
+    const int shift = std::min<int>(entry.attempt, 20);
+    const Cycle backoff =
+        std::min(cfg_.retxBackoffBase << shift, cfg_.retxBackoffMax);
+    Packet pkt = std::move(entry.pkt);
+    ++pkt.attempt;
+    retx_.push(PendingRetx{cycle_ + delay + backoff, std::move(pkt)});
+}
+
+void
+PearlNetwork::stepFaultPlane()
+{
+    faults_.step(cycle_);
+
+    // ACK timeouts: a fired event only matters when the exact
+    // transmission attempt it guards is still un-ACKed (reservation
+    // drops are the one loss mode with no NACK).
+    while (!timeouts_.empty() && timeouts_.top().due <= cycle_) {
+        const TimeoutEvent evt = timeouts_.top();
+        timeouts_.pop();
+        auto &src_outstanding =
+            outstanding_[static_cast<std::size_t>(evt.src)];
+        auto it = src_outstanding.find(evt.seq);
+        if (it == src_outstanding.end() ||
+            it->second.attempt != evt.attempt)
+            continue;
+        stats_.noteAckTimeout();
+        Outstanding entry = std::move(it->second);
+        src_outstanding.erase(it);
+        armRetry(std::move(entry), 0);
+    }
+
+    drainRetxQueue();
+}
+
+void
+PearlNetwork::drainRetxQueue()
+{
+    // Due retransmissions re-enter their source's outbound queue; a
+    // full buffer pushes back one cycle at a time.
+    std::vector<PendingRetx> blocked;
+    while (!retx_.empty() && retx_.top().due <= cycle_) {
+        PendingRetx p = retx_.top();
+        retx_.pop();
+        auto &src = *routers_[static_cast<std::size_t>(p.pkt.src)];
+        if (src.reinject(p.pkt, cycle_)) {
+            stats_.noteRetransmit();
+        } else {
+            p.due = cycle_ + 1;
+            blocked.push_back(std::move(p));
+        }
+    }
+    for (auto &p : blocked)
+        retx_.push(std::move(p));
+}
+
 bool
 PearlNetwork::idle() const
 {
     if (!inFlight_.empty())
         return false;
+    if (!retx_.empty())
+        return false;
+    if (faults_.enabled()) {
+        for (const auto &src_outstanding : outstanding_) {
+            if (!src_outstanding.empty())
+                return false;
+        }
+    }
     for (const auto &router : routers_) {
         if (!router->idle())
             return false;
     }
     return true;
+}
+
+void
+PearlNetwork::describeState(std::ostream &os) const
+{
+    os << "PearlNetwork @ cycle " << cycle_ << ": inFlight="
+       << inFlight_.size() << " pendingRetx=" << retx_.size()
+       << " dropped=" << stats_.droppedPackets() << "\n";
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+        const auto &router = *routers_[r];
+        const auto &inj = router.injectBuffers();
+        const auto &rx = router.rxBuffers();
+        os << "  router " << r << ": state "
+           << photonic::toString(router.laser().state()) << " cap "
+           << photonic::toString(router.wlCap()) << " | inject cpu/gpu "
+           << inj.of(sim::CoreType::CPU).occupiedSlots() << "/"
+           << inj.of(sim::CoreType::GPU).occupiedSlots()
+           << " slots | rx cpu/gpu "
+           << rx.of(sim::CoreType::CPU).occupiedSlots() << "/"
+           << rx.of(sim::CoreType::GPU).occupiedSlots() << " slots";
+        if (faults_.enabled()) {
+            os << " | unacked "
+               << outstanding_[r].size() << " failedBanks "
+               << faults_.failedBanks(static_cast<int>(r));
+        }
+        os << "\n";
+    }
 }
 
 double

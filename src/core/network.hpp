@@ -18,11 +18,13 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "core/arch_config.hpp"
 #include "core/power_policy.hpp"
 #include "core/router.hpp"
+#include "photonic/faults.hpp"
 #include "photonic/power_model.hpp"
 #include "photonic/thermal.hpp"
 #include "common/log.hpp"
@@ -77,6 +79,7 @@ class PearlNetwork : public sim::Network
     int numNodes() const override { return cfg_.numNodes(); }
     const sim::NetworkStats &stats() const override { return stats_; }
     bool idle() const override;
+    void describeState(std::ostream &os) const override;
 
     // Energy / power --------------------------------------------------
     double laserEnergyJ() const;
@@ -101,6 +104,22 @@ class PearlNetwork : public sim::Network
     /** Fraction of router-steps with rings out of thermal lock. */
     double thermalUnlockedFraction() const;
 
+    // Fault plane / resilience ----------------------------------------
+    /** The fault injector (inert unless cfg.faults.enabled). */
+    const photonic::FaultInjector &faults() const { return faults_; }
+
+    /** Packets transmitted by `node` still awaiting an ACK. */
+    std::size_t
+    outstandingAcks(int node) const
+    {
+        return faults_.enabled()
+                   ? outstanding_[static_cast<std::size_t>(node)].size()
+                   : 0;
+    }
+
+    /** Packets network-wide waiting in the retransmit backoff queue. */
+    std::size_t pendingRetransmits() const { return retx_.size(); }
+
     // Introspection ---------------------------------------------------
     PearlRouter &router(int node) { return *routers_[node]; }
     const PearlRouter &router(int node) const { return *routers_[node]; }
@@ -119,6 +138,7 @@ class PearlNetwork : public sim::Network
     {
         sim::Cycle due;
         sim::Packet pkt;
+        bool faultChecked = false; //!< BER draw already taken (rx retry)
 
         bool
         operator>(const InFlight &o) const
@@ -127,7 +147,56 @@ class PearlNetwork : public sim::Network
         }
     };
 
+    /** A transmitted packet the source keeps until it is ACKed. */
+    struct Outstanding
+    {
+        sim::Packet pkt;
+        std::uint16_t attempt = 0;
+    };
+
+    /** Scheduled ACK-timeout check for one (source, seq, attempt). */
+    struct TimeoutEvent
+    {
+        sim::Cycle due;
+        int src;
+        std::uint64_t seq;
+        std::uint16_t attempt;
+
+        bool
+        operator>(const TimeoutEvent &o) const
+        {
+            return due > o.due;
+        }
+    };
+
+    /** A packet waiting out its retransmit backoff. */
+    struct PendingRetx
+    {
+        sim::Cycle due;
+        sim::Packet pkt;
+
+        bool
+        operator>(const PendingRetx &o) const
+        {
+            return due > o.due;
+        }
+    };
+
     bool isWindowBoundary(int router, sim::Cycle now) const;
+
+    /** Receiver-side thermal condition feeding the BER model. */
+    void receiverThermal(int node, double &trim_gap_c,
+                         bool &locked) const;
+
+    /** Schedule a retransmission (or count the drop when the retry
+     *  budget is spent).  `delay` models NACK/timeout signalling time. */
+    void armRetry(Outstanding &&entry, sim::Cycle delay);
+
+    /** Track a fresh transmission: outstanding entry + timeout event. */
+    void trackTransmission(const sim::Packet &pkt);
+
+    void stepFaultPlane();
+    void drainRetxQueue();
 
     PearlConfig cfg_;
     photonic::PowerModel routerPower_; //!< per-router scaled model
@@ -140,6 +209,18 @@ class PearlNetwork : public sim::Network
         inFlight_;
     std::vector<sim::Packet> delivered_;
     std::vector<photonic::ThermalRingBank> thermal_; //!< optional
+    photonic::FaultInjector faults_;
+    /** Per-source next sequence number (faults enabled only). */
+    std::vector<std::uint64_t> nextSeq_;
+    /** Per-source un-ACKed transmissions, keyed by sequence number. */
+    std::vector<std::unordered_map<std::uint64_t, Outstanding>>
+        outstanding_;
+    std::priority_queue<TimeoutEvent, std::vector<TimeoutEvent>,
+                        std::greater<TimeoutEvent>>
+        timeouts_;
+    std::priority_queue<PendingRetx, std::vector<PendingRetx>,
+                        std::greater<PendingRetx>>
+        retx_;
     sim::NetworkStats stats_;
     sim::Cycle cycle_ = 0;
     double trimmingEnergyJ_ = 0.0;

@@ -39,6 +39,13 @@ struct WindowObservation
     const sim::RouterTelemetry *telemetry = nullptr;
     std::uint64_t windowCycles = 0;
     sim::Cycle windowEnd = 0;
+    /**
+     * Highest state the router's surviving laser banks can sustain
+     * (WL64 on a healthy fabric).  The network clamps whatever the
+     * policy returns, but policies may use the ceiling to avoid wasting
+     * a window commanding unavailable states.
+     */
+    photonic::WlState wlCeiling = photonic::WlState::WL64;
 };
 
 /** Per-router wavelength-state selection policy. */

@@ -47,6 +47,17 @@ PearlRouter::inject(const Packet &pkt, Cycle now)
     return true;
 }
 
+bool
+PearlRouter::reinject(const Packet &pkt, Cycle now)
+{
+    Packet copy = pkt;
+    copy.cycleInjected = now;
+    if (!inject_.of(copy.coreType()).push(copy))
+        return false;
+    ++telemetry_.retransmitsQueued;
+    return true;
+}
+
 void
 PearlRouter::accumulateOccupancy()
 {
@@ -114,7 +125,9 @@ PearlRouter::transmitCycle(Cycle now, std::vector<TxCompletion> &done)
         return 0; // lasers still stabilising after an upward switch
 
     const int capacity =
-        photonic::bitsPerCycle(laser_.state()) * waveguides_;
+        photonic::bitsPerCycle(
+            photonic::clampToCap(laser_.state(), wlCap_)) *
+        waveguides_;
 
     int bits = 0;
     if (dba_.config().mode == DbaConfig::Mode::Fcfs) {

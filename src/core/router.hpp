@@ -60,6 +60,15 @@ class PearlRouter
     bool canAccept(const sim::Packet &pkt) const;
     bool inject(const sim::Packet &pkt, sim::Cycle now);
 
+    /**
+     * Re-enqueue a packet for retransmission after a NACK or ACK
+     * timeout.  Unlike inject(), this does not count towards the
+     * window's injected-packet label (the demand already happened) —
+     * it bumps the retransmit telemetry instead.
+     * @return false when the outbound buffer has no room (retry later).
+     */
+    bool reinject(const sim::Packet &pkt, sim::Cycle now);
+
     // Per-cycle operation -------------------------------------------------
     /**
      * Run one transmit cycle: DBA split, reservation countdowns, credit
@@ -79,6 +88,16 @@ class PearlRouter
 
     /** Accumulate the per-cycle occupancy telemetry (call once/cycle). */
     void accumulateOccupancy();
+
+    /**
+     * Fault-capped wavelength ceiling.  Transmit capacity is computed
+     * from min(laser state, cap), so a bank that dies mid-window
+     * degrades bandwidth immediately even before the next policy
+     * decision clamps the commanded state.  WL64 (the default) is a
+     * no-op.
+     */
+    void setWlCap(photonic::WlState cap) { wlCap_ = cap; }
+    photonic::WlState wlCap() const { return wlCap_; }
 
     // Power scaling -------------------------------------------------------
     photonic::LaserBank &laser() { return laser_; }
@@ -121,6 +140,7 @@ class PearlRouter
     int ejectProgress_[sim::kNumCoreTypes] = {0, 0};
     int ejectRr_ = 0;
     photonic::LaserBank laser_;
+    photonic::WlState wlCap_ = photonic::WlState::WL64;
     sim::RouterTelemetry telemetry_;
     double betaWindowSum_ = 0.0;
     std::uint64_t windowCycles_ = 0;

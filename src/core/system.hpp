@@ -42,6 +42,17 @@ struct SystemConfig
     std::uint64_t seed = 1;
     std::uint64_t localHopCycles = 4; //!< same-router crossbar round
     double memResponsesPerCycle = 1.6; //!< aggregate MC bandwidth
+
+    /**
+     * Livelock watchdog for runUntilIdle: when the system is still
+     * pending but neither injects nor delivers a single packet for
+     * `watchdogWindows` consecutive windows of `watchdogWindowCycles`
+     * cycles, runUntilIdle dumps a diagnostic snapshot (per-router
+     * queue depths, outstanding retries) and returns false instead of
+     * spinning to max_cycles.  0 window cycles disables the watchdog.
+     */
+    std::uint64_t watchdogWindowCycles = 10000;
+    int watchdogWindows = 5;
 };
 
 /** Looks up the telemetry block of a node, or nullptr if none. */
@@ -99,6 +110,7 @@ class HeteroSystem : public sim::PacketSink
 
     void stepOnce();
     void dispatch(const sim::Packet &pkt, sim::Cycle now);
+    void dumpStallDiagnostics(sim::Cycle elapsed) const;
 
     sim::Network &network_;
     SystemConfig cfg_;

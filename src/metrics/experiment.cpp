@@ -21,6 +21,12 @@ struct Snapshot
     std::uint64_t gpuPackets = 0;
     double energyJ = 0.0;
     double laserJ = 0.0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t resDrops = 0;
+    std::uint64_t retransmitted = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t unlockedCycles = 0;
 
     static Snapshot
     of(const sim::NetworkStats &s, double energy, double laser)
@@ -33,6 +39,12 @@ struct Snapshot
         snap.gpuPackets = s.gpuDeliveredPackets();
         snap.energyJ = energy;
         snap.laserJ = laser;
+        snap.corrupted = s.corruptedPackets();
+        snap.resDrops = s.reservationDrops();
+        snap.retransmitted = s.retransmittedPackets();
+        snap.timeouts = s.ackTimeouts();
+        snap.dropped = s.droppedPackets();
+        snap.unlockedCycles = s.thermalUnlockedCycles();
         return snap;
     }
 };
@@ -64,6 +76,14 @@ fillCommon(RunMetrics &m, const sim::NetworkStats &stats,
         m.deliveredBits
             ? m.totalEnergyJ / static_cast<double>(m.deliveredBits) * 1e12
             : 0.0;
+    m.corruptedPackets = stats.corruptedPackets() - warm.corrupted;
+    m.reservationDrops = stats.reservationDrops() - warm.resDrops;
+    m.retransmittedPackets =
+        stats.retransmittedPackets() - warm.retransmitted;
+    m.ackTimeouts = stats.ackTimeouts() - warm.timeouts;
+    m.droppedPackets = stats.droppedPackets() - warm.dropped;
+    m.thermalUnlockedCycles =
+        stats.thermalUnlockedCycles() - warm.unlockedCycles;
 }
 
 } // namespace
@@ -153,6 +173,12 @@ average(const std::vector<RunMetrics> &runs, const std::string &label)
         avg.totalEnergyJ += r.totalEnergyJ;
         avg.energyPerBitPj += r.energyPerBitPj / n;
         avg.laserPowerW += r.laserPowerW / n;
+        avg.corruptedPackets += r.corruptedPackets;
+        avg.reservationDrops += r.reservationDrops;
+        avg.retransmittedPackets += r.retransmittedPackets;
+        avg.ackTimeouts += r.ackTimeouts;
+        avg.droppedPackets += r.droppedPackets;
+        avg.thermalUnlockedCycles += r.thermalUnlockedCycles;
         for (std::size_t s = 0; s < avg.residency.size(); ++s)
             avg.residency[s] += r.residency[s] / n;
     }

@@ -46,6 +46,15 @@ struct RunMetrics
     double energyPerBitPj = 0.0;
     double laserPowerW = 0.0; //!< average laser power (photonic only)
 
+    // Resilience counters (nonzero only with the fault plane enabled,
+    // except thermalUnlockedCycles which the thermal model feeds too).
+    std::uint64_t corruptedPackets = 0;
+    std::uint64_t reservationDrops = 0;
+    std::uint64_t retransmittedPackets = 0;
+    std::uint64_t ackTimeouts = 0;
+    std::uint64_t droppedPackets = 0;
+    std::uint64_t thermalUnlockedCycles = 0;
+
     /** Time share per wavelength state, WL8..WL64 (photonic only). */
     std::array<double, photonic::kNumWlStates> residency = {};
 };

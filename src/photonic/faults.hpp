@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Deterministic fault injection for the photonic fabric.
+ *
+ * The paper evaluates PEARL on an ideal optical fabric: reservations
+ * always arrive, every lit wavelength detects correctly, and laser banks
+ * never die.  Real photonic interconnects degrade — loss and BER vary at
+ * runtime with thermal conditions, and multi-chip photonic fabrics treat
+ * link-level retry as table stakes.  This module models three per-router
+ * fault processes so every power policy can be evaluated under
+ * degradation:
+ *
+ *  1. *Laser-bank failure/repair*: each of the four 16-laser banks fails
+ *     with an exponentially distributed time-between-failures and is
+ *     repaired (re-provisioned from spares) after an exponentially
+ *     distributed repair time.  Dead banks cap the router's usable
+ *     wavelength state: three live banks force <=48 WL, two force
+ *     <=32 WL, and so on.  The half-lit low state (8 WL) runs on a
+ *     protected redundant half-bank, so a router never goes fully dark —
+ *     total outage would deadlock the coherence protocol rather than
+ *     exercise recovery.
+ *  2. *BER-driven packet corruption*: every arriving packet survives a
+ *     Bernoulli draw with p = 1 - (1 - BER)^bits.  The BER floor rises
+ *     with the destination ring bank's thermal trim gap and jumps to a
+ *     much higher rate when the bank has lost thermal lock (detectors
+ *     off-resonance mis-sample bits).
+ *  3. *Transient reservation drops*: the R-SWMR broadcast occasionally
+ *     fails to tune the receive rings, so the data flits sail past an
+ *     untuned detector and vanish.  The source only learns via ACK
+ *     timeout.
+ *
+ * All draws come from per-router streams forked off one seeded
+ * common/rng.hpp generator, so a run is reproducible bit-for-bit and the
+ * fault schedule of router i is independent of how often router j is
+ * queried.
+ */
+
+#ifndef PEARL_PHOTONIC_FAULTS_HPP
+#define PEARL_PHOTONIC_FAULTS_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "photonic/wl_state.hpp"
+
+namespace pearl {
+namespace photonic {
+
+/** Fault-scenario parameters (part of the PearlConfig surface). */
+struct FaultConfig
+{
+    /** Master switch: when false the injector performs no RNG draws and
+     *  every query returns "healthy" — the simulation is bit-identical
+     *  to a build without the fault plane. */
+    bool enabled = false;
+
+    /** Seed of the fault-plane RNG (decorrelated from traffic seeds). */
+    std::uint64_t seed = 0xFA017;
+
+    // Laser-bank failure/repair process ------------------------------
+    /** Mean cycles between failures of one laser bank (exponential).
+     *  0 disables bank failures. */
+    double bankMtbfCycles = 0.0;
+    /** Mean cycles to repair a failed bank (exponential). */
+    double bankMttrCycles = 50000.0;
+
+    // BER-driven corruption ------------------------------------------
+    /** Per-bit error rate with rings locked and fully trimmed. */
+    double baseBer = 0.0;
+    /** Fractional BER increase per degree Celsius of thermal trim gap
+     *  (rings far from their lock point detect more marginally). */
+    double berPerTrimGapC = 0.05;
+    /** Per-bit error rate while the ring bank is out of thermal lock. */
+    double unlockedBer = 1e-5;
+
+    // Reservation channel --------------------------------------------
+    /** Probability that one packet's reservation broadcast fails to
+     *  tune the receive rings (the data is silently lost). */
+    double reservationDropRate = 0.0;
+};
+
+/** Per-router fault processes driving the resilience layer. */
+class FaultInjector
+{
+  public:
+    static constexpr int kBanksPerRouter = 4;
+
+    FaultInjector() = default;
+
+    /**
+     * @param cfg     scenario parameters.
+     * @param routers number of routers to model.
+     */
+    FaultInjector(const FaultConfig &cfg, int routers) : cfg_(cfg)
+    {
+        if (!cfg_.enabled)
+            return;
+        Rng root(cfg_.seed);
+        banks_.resize(static_cast<std::size_t>(routers));
+        bankRng_.reserve(static_cast<std::size_t>(routers));
+        dataRng_.reserve(static_cast<std::size_t>(routers));
+        resRng_.reserve(static_cast<std::size_t>(routers));
+        for (int r = 0; r < routers; ++r) {
+            bankRng_.push_back(root.fork());
+            dataRng_.push_back(root.fork());
+            resRng_.push_back(root.fork());
+            auto &router_banks = banks_[static_cast<std::size_t>(r)];
+            for (auto &bank : router_banks.bank) {
+                bank.failed = false;
+                bank.nextEvent = scheduleFailure(
+                    bankRng_[static_cast<std::size_t>(r)]);
+            }
+        }
+    }
+
+    bool enabled() const { return cfg_.enabled; }
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Advance the bank fail/repair schedules to `now` (call once per
+     *  network cycle, before transmission). */
+    void
+    step(std::uint64_t now)
+    {
+        if (!cfg_.enabled || cfg_.bankMtbfCycles <= 0.0)
+            return;
+        for (std::size_t r = 0; r < banks_.size(); ++r) {
+            auto &router_banks = banks_[r];
+            for (auto &bank : router_banks.bank) {
+                while (bank.nextEvent <= now) {
+                    if (bank.failed) {
+                        bank.failed = false;
+                        ++bankRepairs_;
+                        bank.nextEvent += scheduleFailure(bankRng_[r]);
+                    } else {
+                        bank.failed = true;
+                        ++bankFailures_;
+                        bank.nextEvent += scheduleRepair(bankRng_[r]);
+                    }
+                }
+            }
+        }
+    }
+
+    /**
+     * Highest wavelength state the router's surviving laser banks can
+     * sustain.  Healthy routers (and a disabled injector) report WL64.
+     */
+    WlState
+    wlCap(int router) const
+    {
+        if (!cfg_.enabled)
+            return WlState::WL64;
+        const auto &router_banks =
+            banks_[static_cast<std::size_t>(router)];
+        int live = 0;
+        for (const auto &bank : router_banks.bank)
+            live += bank.failed ? 0 : 1;
+        // live banks -> 16*live wavelengths; the protected half-bank
+        // keeps WL8 available even with every full bank dead.
+        switch (live) {
+          case 4: return WlState::WL64;
+          case 3: return WlState::WL48;
+          case 2: return WlState::WL32;
+          case 1: return WlState::WL16;
+          default: return WlState::WL8;
+        }
+    }
+
+    /** Number of currently failed banks at a router (diagnostics). */
+    int
+    failedBanks(int router) const
+    {
+        if (!cfg_.enabled)
+            return 0;
+        const auto &router_banks =
+            banks_[static_cast<std::size_t>(router)];
+        int failed = 0;
+        for (const auto &bank : router_banks.bank)
+            failed += bank.failed ? 1 : 0;
+        return failed;
+    }
+
+    /**
+     * Bernoulli draw: is a packet of `size_bits` corrupted on arrival at
+     * `router`?  The per-bit error rate is the configured floor scaled
+     * by the receiver's thermal trim gap, or the (much higher)
+     * out-of-lock rate while the rings are off-resonance.
+     *
+     * @param trim_gap_c degrees of heater trim at the receiving bank
+     *                   (0 when the thermal model is off).
+     * @param locked     whether the receiving ring bank holds lock.
+     */
+    bool
+    corruptsPacket(int router, int size_bits, double trim_gap_c,
+                   bool locked)
+    {
+        if (!cfg_.enabled)
+            return false;
+        const double ber =
+            locked ? cfg_.baseBer * (1.0 + cfg_.berPerTrimGapC *
+                                               std::max(0.0, trim_gap_c))
+                   : cfg_.unlockedBer;
+        if (ber <= 0.0)
+            return false;
+        // P(>=1 bit error) = 1 - (1-ber)^bits, computed stably.
+        const double p_ok =
+            -std::expm1(static_cast<double>(size_bits) *
+                        std::log1p(-ber));
+        return dataRng_[static_cast<std::size_t>(router)].chance(p_ok);
+    }
+
+    /** Bernoulli draw: did this packet's reservation broadcast fail? */
+    bool
+    dropsReservation(int router)
+    {
+        if (!cfg_.enabled || cfg_.reservationDropRate <= 0.0)
+            return false;
+        return resRng_[static_cast<std::size_t>(router)].chance(
+            cfg_.reservationDropRate);
+    }
+
+    std::uint64_t bankFailures() const { return bankFailures_; }
+    std::uint64_t bankRepairs() const { return bankRepairs_; }
+
+  private:
+    struct BankState
+    {
+        bool failed = false;
+        std::uint64_t nextEvent = 0;
+    };
+
+    struct RouterBanks
+    {
+        BankState bank[kBanksPerRouter];
+    };
+
+    /** Exponential inter-failure sample, >= 1 cycle. */
+    std::uint64_t
+    scheduleFailure(Rng &rng)
+    {
+        if (cfg_.bankMtbfCycles <= 0.0)
+            return ~0ULL >> 1; // never
+        return sampleExp(rng, cfg_.bankMtbfCycles);
+    }
+
+    std::uint64_t
+    scheduleRepair(Rng &rng)
+    {
+        return sampleExp(rng, std::max(1.0, cfg_.bankMttrCycles));
+    }
+
+    static std::uint64_t
+    sampleExp(Rng &rng, double mean_cycles)
+    {
+        const double u = rng.uniform();
+        const double t = -mean_cycles * std::log1p(-u);
+        return t < 1.0 ? 1
+                       : static_cast<std::uint64_t>(std::llround(t));
+    }
+
+    FaultConfig cfg_;
+    std::vector<RouterBanks> banks_;
+    std::vector<Rng> bankRng_;
+    std::vector<Rng> dataRng_;
+    std::vector<Rng> resRng_;
+    std::uint64_t bankFailures_ = 0;
+    std::uint64_t bankRepairs_ = 0;
+};
+
+/** Clamp a policy's chosen state to a fault-capped ceiling. */
+inline WlState
+clampToCap(WlState chosen, WlState cap)
+{
+    return indexOf(chosen) > indexOf(cap) ? cap : chosen;
+}
+
+} // namespace photonic
+} // namespace pearl
+
+#endif // PEARL_PHOTONIC_FAULTS_HPP

@@ -10,6 +10,7 @@
 #ifndef PEARL_SIM_NETWORK_HPP
 #define PEARL_SIM_NETWORK_HPP
 
+#include <iosfwd>
 #include <vector>
 
 #include "sim/packet.hpp"
@@ -54,6 +55,16 @@ class Network
 
     /** True when no packet is buffered or in flight anywhere. */
     virtual bool idle() const = 0;
+
+    /**
+     * Write a human-readable queue/health snapshot to `os` — used by
+     * the system watchdog when it detects livelock.  Default: nothing.
+     */
+    virtual void
+    describeState(std::ostream &os) const
+    {
+        (void)os;
+    }
 };
 
 } // namespace sim

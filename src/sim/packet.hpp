@@ -215,6 +215,14 @@ struct Packet
     std::uint64_t addr = 0;        //!< cache-line address (coherence)
     std::uint64_t reqId = 0;       //!< id of the request this responds to
 
+    /** Per-source-router sequence number, stamped at first transmission
+     *  onto the waveguide; identifies the packet across retransmission
+     *  attempts. */
+    std::uint64_t seq = 0;
+    /** Transmission attempt, 0 for the first; bounds the exponential
+     *  retransmit backoff. */
+    std::uint16_t attempt = 0;
+
     int numFlits() const { return flitsFor(sizeBits); }
     CoreType coreType() const { return coreTypeOf(msgClass); }
     bool request() const { return isRequest(msgClass); }

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/reservoir.hpp"
 #include "common/stats.hpp"
@@ -48,6 +49,69 @@ class NetworkStats
             ++gpuDelivered_;
             gpuLatency_.add(static_cast<double>(pkt.latency()));
         }
+    }
+
+    // Fault / resilience accounting --------------------------------------
+
+    /** A packet arrived corrupted (failed its BER draw) and was NACKed. */
+    void
+    noteCorrupted(const Packet &pkt)
+    {
+        ++corruptedPackets_;
+        (void)pkt;
+    }
+
+    /** A packet's reservation broadcast was lost (data vanished). */
+    void noteReservationDrop() { ++reservationDrops_; }
+
+    /** A source gave up waiting for an ACK and re-armed the packet. */
+    void noteAckTimeout() { ++ackTimeouts_; }
+
+    /** A packet re-entered its source's outbound queue. */
+    void noteRetransmit() { ++retransmittedPackets_; }
+
+    /** A packet exhausted its retry budget and was dropped (counted,
+     *  never silent). */
+    void noteDropped(const Packet &pkt)
+    {
+        ++droppedPackets_;
+        (void)pkt;
+    }
+
+    /** One cycle with router `router`'s ring bank out of thermal lock. */
+    void
+    noteThermalUnlocked(int router)
+    {
+        if (router >= static_cast<int>(routerUnlockedCycles_.size()))
+            routerUnlockedCycles_.resize(
+                static_cast<std::size_t>(router) + 1, 0);
+        ++routerUnlockedCycles_[static_cast<std::size_t>(router)];
+        ++thermalUnlockedCycles_;
+    }
+
+    std::uint64_t corruptedPackets() const { return corruptedPackets_; }
+    std::uint64_t reservationDrops() const { return reservationDrops_; }
+    std::uint64_t ackTimeouts() const { return ackTimeouts_; }
+    std::uint64_t retransmittedPackets() const
+    {
+        return retransmittedPackets_;
+    }
+    std::uint64_t droppedPackets() const { return droppedPackets_; }
+
+    /** Total router-cycles spent out of thermal lock, network-wide. */
+    std::uint64_t thermalUnlockedCycles() const
+    {
+        return thermalUnlockedCycles_;
+    }
+
+    /** Out-of-lock cycles of one router (0 for never-unlocked routers). */
+    std::uint64_t
+    thermalUnlockedCycles(int router) const
+    {
+        return router < static_cast<int>(routerUnlockedCycles_.size())
+                   ? routerUnlockedCycles_[
+                         static_cast<std::size_t>(router)]
+                   : 0;
     }
 
     std::uint64_t injectedPackets() const { return injectedPackets_; }
@@ -129,6 +193,10 @@ class NetworkStats
             stat.reset();
         classInjected_.fill(0);
         classDelivered_.fill(0);
+        corruptedPackets_ = reservationDrops_ = 0;
+        ackTimeouts_ = retransmittedPackets_ = droppedPackets_ = 0;
+        thermalUnlockedCycles_ = 0;
+        routerUnlockedCycles_.clear();
     }
 
   private:
@@ -146,6 +214,13 @@ class NetworkStats
     std::array<RunningStat, kNumMsgClasses> classLatency_;
     std::array<std::uint64_t, kNumMsgClasses> classInjected_ = {};
     std::array<std::uint64_t, kNumMsgClasses> classDelivered_ = {};
+    std::uint64_t corruptedPackets_ = 0;
+    std::uint64_t reservationDrops_ = 0;
+    std::uint64_t ackTimeouts_ = 0;
+    std::uint64_t retransmittedPackets_ = 0;
+    std::uint64_t droppedPackets_ = 0;
+    std::uint64_t thermalUnlockedCycles_ = 0;
+    std::vector<std::uint64_t> routerUnlockedCycles_;
 };
 
 } // namespace sim

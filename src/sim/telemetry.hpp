@@ -49,6 +49,14 @@ struct RouterTelemetry
     /** Packets injected into this router during the window (the label). */
     std::uint64_t packetsInjected = 0;
 
+    // Degradation counters (fault plane / thermal).  Not part of the 30
+    // Table III features, but available so feature extractors and
+    // policies can observe link health per window.
+    std::uint64_t retransmitsQueued = 0;  //!< re-entered this source's queue
+    std::uint64_t corruptedArrivals = 0;  //!< failed the BER draw here
+    std::uint64_t packetsDropped = 0;     //!< retry budget exhausted here
+    std::uint64_t outOfLockCycles = 0;    //!< ring bank out of thermal lock
+
     /** Count a packet passing through, by its Table III class. */
     void
     noteClass(MsgClass c)

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests of the fault-injection plane and the end-to-end retransmission
+ * layer: determinism of the fault schedule, retry-cap accounting,
+ * wavelength-ceiling clamping, loss-of-lock counting, and the guard
+ * that a zero-fault configuration behaves exactly like the ideal
+ * fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/network.hpp"
+#include "photonic/faults.hpp"
+#include "photonic/power_model.hpp"
+
+namespace pearl {
+namespace core {
+namespace {
+
+using photonic::FaultConfig;
+using photonic::FaultInjector;
+using photonic::PowerModel;
+using photonic::WlState;
+using sim::MsgClass;
+using sim::Packet;
+
+Packet
+makePacket(std::uint64_t id, int src, int dst,
+           MsgClass cls = MsgClass::ReqCpuL2Down,
+           int size = sim::kRequestBits)
+{
+    Packet p;
+    p.id = id;
+    p.msgClass = cls;
+    p.src = src;
+    p.dst = dst;
+    p.sizeBits = size;
+    return p;
+}
+
+/** Drive a network with a fixed deterministic traffic pattern. */
+struct StatsSummary
+{
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t resDrops = 0;
+    std::uint64_t retransmitted = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t dropped = 0;
+    double latency = 0.0;
+
+    bool
+    operator==(const StatsSummary &o) const
+    {
+        return injected == o.injected && delivered == o.delivered &&
+               corrupted == o.corrupted && resDrops == o.resDrops &&
+               retransmitted == o.retransmitted &&
+               timeouts == o.timeouts && dropped == o.dropped &&
+               latency == o.latency;
+    }
+};
+
+StatsSummary
+runPattern(const PearlConfig &cfg, PowerPolicy &policy, int cycles,
+           int drain_cycles = 4000)
+{
+    PowerModel power;
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+    std::uint64_t id = 0;
+    for (int c = 0; c < cycles; ++c) {
+        // Three sources ship a packet every fourth cycle.
+        if (c % 4 == 0) {
+            net.inject(makePacket(++id, 0, 5));
+            net.inject(makePacket(++id, 3, 9, MsgClass::RespGpuL2Down,
+                                  sim::kResponseBits));
+            net.inject(makePacket(++id, 7, 1, MsgClass::ReqGpuL2Down));
+        }
+        net.step();
+    }
+    for (int c = 0; c < drain_cycles && !net.idle(); ++c)
+        net.step();
+
+    StatsSummary s;
+    s.injected = net.stats().injectedPackets();
+    s.delivered = net.stats().deliveredPackets();
+    s.corrupted = net.stats().corruptedPackets();
+    s.resDrops = net.stats().reservationDrops();
+    s.retransmitted = net.stats().retransmittedPackets();
+    s.timeouts = net.stats().ackTimeouts();
+    s.dropped = net.stats().droppedPackets();
+    s.latency = net.stats().avgLatency();
+    return s;
+}
+
+FaultConfig
+lossyConfig()
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.seed = 1234;
+    f.baseBer = 2e-4;            // ~2.5% corruption per request packet
+    f.reservationDropRate = 0.02;
+    f.bankMtbfCycles = 4000.0;
+    f.bankMttrCycles = 1500.0;
+    return f;
+}
+
+TEST(FaultInjector, DisabledIsInert)
+{
+    FaultInjector inj(FaultConfig{}, 17);
+    EXPECT_FALSE(inj.enabled());
+    inj.step(1000);
+    EXPECT_EQ(inj.wlCap(0), WlState::WL64);
+    EXPECT_EQ(inj.failedBanks(3), 0);
+    EXPECT_FALSE(inj.corruptsPacket(0, sim::kResponseBits, 10.0, false));
+    EXPECT_FALSE(inj.dropsReservation(5));
+}
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.seed = 99;
+    f.bankMtbfCycles = 500.0;
+    f.bankMttrCycles = 200.0;
+    FaultInjector a(f, 8);
+    FaultInjector b(f, 8);
+    for (std::uint64_t now = 0; now < 20000; now += 7) {
+        a.step(now);
+        b.step(now);
+        for (int r = 0; r < 8; ++r) {
+            ASSERT_EQ(a.wlCap(r), b.wlCap(r)) << "cycle " << now;
+            ASSERT_EQ(a.failedBanks(r), b.failedBanks(r));
+        }
+    }
+    EXPECT_EQ(a.bankFailures(), b.bankFailures());
+    EXPECT_GT(a.bankFailures(), 0u);
+    EXPECT_GT(a.bankRepairs(), 0u);
+}
+
+TEST(FaultInjector, BankFailuresCapTheWavelengthState)
+{
+    // With MTBF far below MTTR every bank is failed almost always, so
+    // the cap must visit degraded states.
+    FaultConfig f;
+    f.enabled = true;
+    f.seed = 5;
+    f.bankMtbfCycles = 50.0;
+    f.bankMttrCycles = 10000.0;
+    FaultInjector inj(f, 2);
+    bool saw_degraded = false;
+    for (std::uint64_t now = 0; now < 5000; ++now) {
+        inj.step(now);
+        if (inj.wlCap(0) != WlState::WL64)
+            saw_degraded = true;
+    }
+    EXPECT_TRUE(saw_degraded);
+    // All four banks dead floors at the protected WL8 half-bank.
+    EXPECT_EQ(inj.failedBanks(0), FaultInjector::kBanksPerRouter);
+    EXPECT_EQ(inj.wlCap(0), WlState::WL8);
+}
+
+TEST(FaultInjector, ClampCoversAllFiveStates)
+{
+    using photonic::clampToCap;
+    const WlState cap = WlState::WL16;
+    EXPECT_EQ(clampToCap(WlState::WL8, cap), WlState::WL8);
+    EXPECT_EQ(clampToCap(WlState::WL16, cap), WlState::WL16);
+    EXPECT_EQ(clampToCap(WlState::WL32, cap), WlState::WL16);
+    EXPECT_EQ(clampToCap(WlState::WL48, cap), WlState::WL16);
+    EXPECT_EQ(clampToCap(WlState::WL64, cap), WlState::WL16);
+    // A healthy cap never alters the choice.
+    for (auto s : photonic::kWlStates)
+        EXPECT_EQ(clampToCap(s, WlState::WL64), s);
+}
+
+TEST(FaultInjector, CorruptionScalesWithTrimGapAndLock)
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.baseBer = 1e-5;
+    f.berPerTrimGapC = 1.0;
+    f.unlockedBer = 1e-3;
+    const int trials = 20000;
+    auto rate = [&](double gap, bool locked) {
+        FaultInjector inj(f, 1);
+        int hits = 0;
+        for (int i = 0; i < trials; ++i) {
+            hits += inj.corruptsPacket(0, sim::kResponseBits, gap,
+                                       locked)
+                        ? 1
+                        : 0;
+        }
+        return static_cast<double>(hits) / trials;
+    };
+    const double locked_cool = rate(0.0, true);
+    const double locked_hot = rate(20.0, true);
+    const double unlocked = rate(0.0, false);
+    EXPECT_GT(locked_hot, locked_cool);
+    EXPECT_GT(unlocked, locked_hot);
+}
+
+TEST(PearlNetworkFaults, SeededRunIsReproducible)
+{
+    PearlConfig cfg;
+    cfg.faults = lossyConfig();
+    StaticPolicy policy(WlState::WL64);
+    const StatsSummary a = runPattern(cfg, policy, 6000);
+    StaticPolicy policy2(WlState::WL64);
+    const StatsSummary b = runPattern(cfg, policy2, 6000);
+    EXPECT_TRUE(a == b);
+    // The lossy scenario actually exercised the recovery machinery.
+    EXPECT_GT(a.corrupted + a.resDrops, 0u);
+    EXPECT_GT(a.retransmitted, 0u);
+}
+
+TEST(PearlNetworkFaults, NoPacketIsSilentlyLost)
+{
+    PearlConfig cfg;
+    cfg.faults = lossyConfig();
+    cfg.faults.reservationDropRate = 0.1;
+    cfg.ackTimeoutCycles = 32;
+    StaticPolicy policy(WlState::WL64);
+    const StatsSummary s = runPattern(cfg, policy, 4000, 20000);
+    // Conservation: every injected packet is either delivered or a
+    // counted drop once the network drains.
+    EXPECT_EQ(s.injected, s.delivered + s.dropped);
+    EXPECT_GT(s.timeouts, 0u);
+}
+
+TEST(PearlNetworkFaults, RetryCapExhaustionCountsDrops)
+{
+    PearlConfig cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.reservationDropRate = 1.0; // every transmission vanishes
+    cfg.ackTimeoutCycles = 16;
+    cfg.retryLimit = 2;
+    cfg.retxBackoffBase = 2;
+    cfg.retxBackoffMax = 8;
+
+    PowerModel power;
+    StaticPolicy policy(WlState::WL64);
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+    ASSERT_TRUE(net.inject(makePacket(1, 0, 5)));
+    for (int c = 0; c < 2000 && !net.idle(); ++c)
+        net.step();
+
+    EXPECT_EQ(net.stats().deliveredPackets(), 0u);
+    EXPECT_EQ(net.stats().droppedPackets(), 1u);
+    // Initial send + retryLimit retransmissions all timed out.
+    EXPECT_EQ(net.stats().ackTimeouts(),
+              static_cast<std::uint64_t>(cfg.retryLimit) + 1);
+    EXPECT_EQ(net.stats().retransmittedPackets(),
+              static_cast<std::uint64_t>(cfg.retryLimit));
+    EXPECT_EQ(net.router(0).telemetry().packetsDropped, 1u);
+    EXPECT_TRUE(net.idle());
+}
+
+TEST(PearlNetworkFaults, ZeroRateConfigMatchesDisabledFaultPlane)
+{
+    // Guard for the seed baseline: turning the plane on with all fault
+    // rates at zero must not change any observable statistic relative
+    // to the default (disabled) configuration.
+    PearlConfig ideal;
+    StaticPolicy p1(WlState::WL64);
+    const StatsSummary a = runPattern(ideal, p1, 6000);
+
+    PearlConfig zero_rate;
+    zero_rate.faults.enabled = true;
+    zero_rate.faults.bankMtbfCycles = 0.0;
+    zero_rate.faults.baseBer = 0.0;
+    zero_rate.faults.reservationDropRate = 0.0;
+    StaticPolicy p2(WlState::WL64);
+    const StatsSummary b = runPattern(zero_rate, p2, 6000);
+
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.corrupted, 0u);
+    EXPECT_EQ(a.retransmitted, 0u);
+    EXPECT_EQ(a.dropped, 0u);
+}
+
+TEST(PearlNetworkFaults, PolicyChoicesAreClampedToTheCeiling)
+{
+    // Every bank dies almost immediately and stays dead, so the WL64
+    // static policy must be forced down to the WL8 floor.
+    PearlConfig cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.bankMtbfCycles = 10.0;
+    cfg.faults.bankMttrCycles = 1e9;
+    cfg.reservationWindow = 100;
+
+    PowerModel power;
+    StaticPolicy policy(WlState::WL64);
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+    for (int c = 0; c < 2000; ++c)
+        net.step();
+    for (int r = 0; r < cfg.numNodes(); ++r) {
+        EXPECT_EQ(net.faults().wlCap(r), WlState::WL8);
+        EXPECT_EQ(net.router(r).laser().state(), WlState::WL8)
+            << "router " << r;
+    }
+}
+
+TEST(PearlNetworkFaults, ThermalLossOfLockIsCountedWithoutFaultPlane)
+{
+    // Lock point below ambient: the bank can never lock, and the
+    // per-router out-of-lock cycles must be counted even though the
+    // fault plane is disabled.
+    PearlConfig cfg;
+    cfg.useThermalModel = true;
+    cfg.thermal.ambientC = 80.0;
+    cfg.thermal.lockPointC = 65.0;
+
+    PowerModel power;
+    StaticPolicy policy(WlState::WL64);
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+    const int steps = 200;
+    for (int c = 0; c < steps; ++c)
+        net.step();
+
+    EXPECT_EQ(net.stats().thermalUnlockedCycles(0),
+              static_cast<std::uint64_t>(steps));
+    EXPECT_EQ(net.stats().thermalUnlockedCycles(),
+              static_cast<std::uint64_t>(steps) *
+                  static_cast<std::uint64_t>(cfg.numNodes()));
+    EXPECT_EQ(net.router(0).telemetry().outOfLockCycles,
+              static_cast<std::uint64_t>(steps));
+}
+
+TEST(PearlNetworkFaults, DescribeStateReportsQueuesAndBanks)
+{
+    PearlConfig cfg;
+    cfg.faults = lossyConfig();
+    PowerModel power;
+    StaticPolicy policy(WlState::WL64);
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+    net.inject(makePacket(1, 0, 5));
+    net.step();
+    std::ostringstream oss;
+    net.describeState(oss);
+    const std::string dump = oss.str();
+    EXPECT_NE(dump.find("PearlNetwork @ cycle"), std::string::npos);
+    EXPECT_NE(dump.find("router 0"), std::string::npos);
+    EXPECT_NE(dump.find("failedBanks"), std::string::npos);
+}
+
+} // namespace
+} // namespace core
+} // namespace pearl
