@@ -11,10 +11,19 @@
  *   PEARL_BENCH_TRAIN    training cycles per pair     (default 30000)
  *   PEARL_BENCH_TRAIN_PAIRS  training pairs, 0 = all  (default 0)
  *   PEARL_BENCH_CSV      also print CSV               (default 0)
+ *   PEARL_SWEEP_THREADS  sweep worker threads; 1 = serial
+ *                        (default: hardware concurrency)
+ *
+ * The (config x pair) grids run through `metrics::SweepRunner`, so they
+ * scale with cores while staying bit-identical to a serial run (each
+ * job's seed is derived from (base seed, job index), never from
+ * scheduling order).
  *
  * Trained ridge models are cached as pearl_ml_rw<RW>.model in the
  * working directory so the figure benches that share a model do not
- * retrain.
+ * retrain; in-process the load goes through the mutex-guarded
+ * `ml::ModelCache`, so concurrent sweep jobs cannot retrain or race on
+ * the file.
  */
 
 #ifndef PEARL_BENCH_COMMON_HPP
@@ -26,8 +35,11 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "metrics/experiment.hpp"
+#include "metrics/sweep.hpp"
+#include "ml/model_cache.hpp"
 #include "ml/pipeline.hpp"
 #include "ml/policy.hpp"
 #include "traffic/suite.hpp"
@@ -38,8 +50,7 @@ namespace bench {
 inline std::uint64_t
 envU64(const char *name, std::uint64_t fallback)
 {
-    const char *v = std::getenv(name);
-    return v ? static_cast<std::uint64_t>(std::atoll(v)) : fallback;
+    return pearl::envU64(name, fallback);
 }
 
 /** Common run options from the environment. */
@@ -83,58 +94,140 @@ banner(const std::string &what, const std::string &paper_ref)
 }
 
 /**
+ * Accumulates the sweep summaries of a bench process so the bench can
+ * print one footer with the parallel speedup (tracked by the
+ * BENCH_*.json trajectories).
+ */
+class SweepTracker
+{
+  public:
+    static SweepTracker &
+    instance()
+    {
+        static SweepTracker tracker;
+        return tracker;
+    }
+
+    void
+    add(const metrics::SweepSummary &s)
+    {
+        total_.jobs += s.jobs;
+        total_.failed += s.failed;
+        total_.skipped += s.skipped;
+        total_.threads = std::max(total_.threads, s.threads);
+        total_.wallSeconds += s.wallSeconds;
+        total_.aggregateJobSeconds += s.aggregateJobSeconds;
+        ++sweeps_;
+    }
+
+    /** The per-sweep summary footer. */
+    void
+    print(std::ostream &os) const
+    {
+        if (total_.jobs == 0)
+            return;
+        os << "\n[sweep] " << total_.jobs << " jobs in " << sweeps_
+           << " sweep" << (sweeps_ == 1 ? "" : "s") << " on "
+           << total_.threads << " thread"
+           << (total_.threads == 1 ? "" : "s") << ": wall "
+           << TextTable::num(total_.wallSeconds, 2) << " s, aggregate "
+           << TextTable::num(total_.aggregateJobSeconds, 2)
+           << " s, speedup " << TextTable::num(total_.speedup(), 2)
+           << "x\n";
+    }
+
+  private:
+    metrics::SweepSummary total_;
+    std::size_t sweeps_ = 0;
+};
+
+/** Print the accumulated sweep footer (jobs, threads, wall vs
+ *  aggregate time, speedup). */
+inline void
+sweepFooter()
+{
+    SweepTracker::instance().print(std::cout);
+}
+
+/** Run a job grid through the sweep engine, feed the footer tracker,
+ *  and return the metrics in submission order (fatal on job failure). */
+inline std::vector<metrics::RunMetrics>
+runSweep(const std::vector<metrics::SweepJob> &jobs,
+         std::uint64_t base_seed = 100)
+{
+    metrics::SweepOptions so;
+    so.baseSeed = base_seed;
+    const metrics::SweepResult result =
+        metrics::SweepRunner(so).run(jobs);
+    SweepTracker::instance().add(result.summary);
+    if (const metrics::SweepJobResult *bad = result.firstError()) {
+        fatal("sweep job '", bad->metrics.configName, "/",
+              bad->metrics.pairLabel, "' failed: ", bad->error);
+    }
+    std::vector<metrics::RunMetrics> runs;
+    runs.reserve(result.jobs.size());
+    for (const auto &j : result.jobs)
+        runs.push_back(j.metrics);
+    return runs;
+}
+
+/**
  * Train (or load from cache) the ridge model for a reservation window.
  * The pipeline mirrors Section IV-A: random-state first pass, optional
  * policy-driven second pass, lambda tuned on the validation pairs.
+ * Load-once: concurrent callers share one entry via ml::ModelCache.
  */
-inline ml::PipelineResult
+inline const ml::PipelineResult &
 trainedModel(const traffic::BenchmarkSuite &suite, std::uint64_t rw,
              bool verbose = true)
 {
-    const std::string path =
-        "pearl_ml_rw" + std::to_string(rw) + ".model";
+    return ml::ModelCache::instance().get(rw, [&suite, rw, verbose] {
+        const std::string path =
+            "pearl_ml_rw" + std::to_string(rw) + ".model";
 
-    ml::PipelineConfig cfg;
-    cfg.reservationWindow = rw;
-    cfg.simCycles = envU64("PEARL_BENCH_TRAIN", 30000);
-    cfg.maxTrainPairs =
-        static_cast<int>(envU64("PEARL_BENCH_TRAIN_PAIRS", 0));
-    cfg.secondPass = true;
+        ml::PipelineConfig cfg;
+        cfg.reservationWindow = rw;
+        cfg.simCycles = envU64("PEARL_BENCH_TRAIN", 30000);
+        cfg.maxTrainPairs =
+            static_cast<int>(envU64("PEARL_BENCH_TRAIN_PAIRS", 0));
+        cfg.secondPass = true;
 
-    ml::PipelineResult result;
-    {
-        std::ifstream in(path);
-        if (in && result.model.load(in)) {
-            if (verbose) {
-                std::cout << "[ml] loaded cached model " << path
-                          << " (lambda " << result.model.lambda()
-                          << ")\n";
+        ml::PipelineResult result;
+        {
+            std::ifstream in(path);
+            if (in && result.model.load(in)) {
+                if (verbose) {
+                    std::cout << "[ml] loaded cached model " << path
+                              << " (lambda " << result.model.lambda()
+                              << ")\n";
+                }
+                result.bestLambda = result.model.lambda();
+                return result;
             }
-            result.bestLambda = result.model.lambda();
-            return result;
         }
-    }
 
-    if (verbose) {
-        std::cout << "[ml] training ridge model for RW" << rw
-                  << " (cache miss; this runs the 36-pair pipeline)\n";
-    }
-    ml::TrainingPipeline pipeline(suite, cfg);
-    result = pipeline.run();
-    std::ofstream out(path);
-    result.model.save(out);
-    if (verbose) {
-        std::cout << "[ml] trained: lambda " << result.bestLambda
-                  << ", validation NRMSE "
-                  << TextTable::num(result.validationNrmse, 3) << ", "
-                  << result.trainSamples << " samples -> cached to "
-                  << path << "\n";
-    }
-    return result;
+        if (verbose) {
+            std::cout << "[ml] training ridge model for RW" << rw
+                      << " (cache miss; this runs the 36-pair "
+                         "pipeline)\n";
+        }
+        ml::TrainingPipeline pipeline(suite, cfg);
+        result = pipeline.run();
+        std::ofstream out(path);
+        result.model.save(out);
+        if (verbose) {
+            std::cout << "[ml] trained: lambda " << result.bestLambda
+                      << ", validation NRMSE "
+                      << TextTable::num(result.validationNrmse, 3)
+                      << ", " << result.trainSamples
+                      << " samples -> cached to " << path << "\n";
+        }
+        return result;
+    });
 }
 
-/** Run a PEARL configuration over all test pairs and return per-pair
- *  metrics plus the average row. */
+/** Run a PEARL configuration over all test pairs (one sweep job per
+ *  pair, executed in parallel) and return per-pair metrics. */
 template <typename MakePolicy>
 std::vector<metrics::RunMetrics>
 runPearlConfig(const traffic::BenchmarkSuite &suite,
@@ -142,16 +235,39 @@ runPearlConfig(const traffic::BenchmarkSuite &suite,
                const core::DbaConfig &dba, MakePolicy &&make_policy)
 {
     const auto opts = runOptions();
-    std::vector<metrics::RunMetrics> runs;
-    std::uint64_t seed = 100;
+    std::vector<metrics::SweepJob> jobs;
     for (const auto &pair : testPairs(suite)) {
-        auto policy = make_policy();
-        metrics::RunOptions o = opts;
-        o.seed = ++seed;
-        runs.push_back(
-            metrics::runPearl(pair, net_cfg, dba, *policy, o, name));
+        metrics::SweepJob job;
+        job.configName = name;
+        job.pair = pair;
+        job.options = opts;
+        job.pearl = net_cfg;
+        job.dba = dba;
+        job.makePolicy = make_policy;
+        jobs.push_back(std::move(job));
     }
-    return runs;
+    return runSweep(jobs);
+}
+
+/** Run the CMESH baseline over all test pairs through the sweep
+ *  engine (same derived seeds as the PEARL configs). */
+inline std::vector<metrics::RunMetrics>
+runCmeshConfig(const traffic::BenchmarkSuite &suite,
+               const std::string &name,
+               const electrical::CmeshConfig &mesh)
+{
+    const auto opts = runOptions();
+    std::vector<metrics::SweepJob> jobs;
+    for (const auto &pair : testPairs(suite)) {
+        metrics::SweepJob job;
+        job.configName = name;
+        job.pair = pair;
+        job.options = opts;
+        job.fabric = metrics::SweepJob::Fabric::Cmesh;
+        job.cmesh = mesh;
+        jobs.push_back(std::move(job));
+    }
+    return runSweep(jobs);
 }
 
 } // namespace bench

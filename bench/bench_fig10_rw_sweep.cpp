@@ -36,7 +36,7 @@ main()
               "-", TextTable::num(baseline.avg.laserPowerW, 3), "-"});
 
     for (std::uint64_t rw : {100ULL, 500ULL, 1000ULL, 2000ULL}) {
-        const auto model = bench::trainedModel(suite, rw);
+        const auto &model = bench::trainedModel(suite, rw);
         core::PearlConfig cfg;
         cfg.reservationWindow = rw;
         ml::MlPolicyConfig pol;
@@ -57,5 +57,6 @@ main()
                                            baseline.avg.laserPowerW)});
     }
     bench::emit(t);
+    bench::sweepFooter();
     return 0;
 }

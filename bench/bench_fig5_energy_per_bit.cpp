@@ -30,7 +30,6 @@ main()
                   "Figure 5, Section IV-C (first comparison)");
 
     traffic::BenchmarkSuite suite;
-    const auto opts = bench::runOptions();
 
     struct Row
     {
@@ -71,15 +70,9 @@ main()
 
         electrical::CmeshConfig mesh;
         mesh.linkCyclesPerFlit = cmesh_slowdown[i];
-        std::vector<metrics::RunMetrics> cmesh_runs;
-        std::uint64_t seed = 100;
-        for (const auto &pair : bench::testPairs(suite)) {
-            metrics::RunOptions o = opts;
-            o.seed = ++seed;
-            cmesh_runs.push_back(
-                metrics::runCmesh(pair, mesh, o, "CMESH " + suffix));
-        }
-        rows.push_back({"CMESH " + suffix, averageOf(cmesh_runs)});
+        rows.push_back({"CMESH " + suffix,
+                        averageOf(bench::runCmeshConfig(
+                            suite, "CMESH " + suffix, mesh))});
     }
 
     TextTable t({"config", "energy/bit (pJ)", "thru (flits/cyc)",
@@ -126,5 +119,6 @@ main()
                                        cmesh16.energyPerBitPj),
               "88.8% lower"});
     bench::emit(h);
+    bench::sweepFooter();
     return 0;
 }

@@ -51,5 +51,6 @@ main()
         p.addRow(row);
     }
     bench::emit(p);
+    bench::sweepFooter();
     return 0;
 }

@@ -47,5 +47,6 @@ main()
         p.addRow(row);
     }
     bench::emit(p);
+    bench::sweepFooter();
     return 0;
 }

@@ -55,5 +55,6 @@ main()
         }
     }
     bench::emit(p);
+    bench::sweepFooter();
     return 0;
 }

@@ -21,7 +21,6 @@ main()
                   "Figure 9, Section IV-C");
 
     traffic::BenchmarkSuite suite;
-    const auto opts = bench::runOptions();
     core::DbaConfig dba;
 
     std::vector<bench::ConfigResult> results;
@@ -60,7 +59,7 @@ main()
     }
     // ML RW500 without the 8WL state (as plotted in Figure 9).
     {
-        const auto model = bench::trainedModel(suite, 500);
+        const auto &model = bench::trainedModel(suite, 500);
         core::PearlConfig cfg;
         cfg.reservationWindow = 500;
         ml::MlPolicyConfig pol;
@@ -77,14 +76,8 @@ main()
     // CMESH.
     {
         electrical::CmeshConfig mesh;
-        std::vector<metrics::RunMetrics> runs;
-        std::uint64_t seed = 100;
-        for (const auto &pair : bench::testPairs(suite)) {
-            metrics::RunOptions o = opts;
-            o.seed = ++seed;
-            runs.push_back(metrics::runCmesh(pair, mesh, o, "CMESH"));
-        }
-        results.push_back(bench::finish("CMESH", std::move(runs)));
+        results.push_back(bench::finish(
+            "CMESH", bench::runCmeshConfig(suite, "CMESH", mesh)));
     }
 
     const double cmesh_thru =
@@ -109,5 +102,6 @@ main()
     for (const auto &r : results)
         l.addRow({r.name, TextTable::num(r.avg.avgLatencyCycles, 0)});
     bench::emit(l);
+    bench::sweepFooter();
     return 0;
 }

@@ -80,19 +80,11 @@ runPowerScalingConfigs(const traffic::BenchmarkSuite &suite,
     if (sel.dynRw2000)
         dyn(2000);
 
-    // ML configurations share one trained model per window size.
-    std::unique_ptr<ml::PipelineResult> model500, model2000;
-    auto modelFor = [&](std::uint64_t rw) -> const ml::RidgeRegression & {
-        auto &slot = rw == 500 ? model500 : model2000;
-        if (!slot) {
-            slot = std::make_unique<ml::PipelineResult>(
-                trainedModel(suite, rw));
-        }
-        return slot->model;
-    };
-
+    // ML configurations share one trained model per window size; the
+    // load-once ModelCache behind trainedModel() keeps the entries
+    // stable, so the policy factories can hold references into it.
     auto mlRun = [&](std::uint64_t rw, bool enable8, std::string name) {
-        const ml::RidgeRegression &model = modelFor(rw);
+        const ml::RidgeRegression &model = trainedModel(suite, rw).model;
         core::PearlConfig cfg;
         cfg.reservationWindow = rw;
         ml::MlPolicyConfig pol;

@@ -9,15 +9,21 @@
  * respond.  The healthy column (severity 0) reproduces the ideal
  * fabric the paper evaluates; the rest is the new robustness axis.
  *
+ * The 5 severities x 3 policies grid runs through the parallel sweep
+ * engine (PEARL_SWEEP_THREADS=1 forces the serial path); every cell
+ * keeps the same traffic seed so the policies stay comparable under an
+ * identical fault realisation.
+ *
  * Usage: fault_sweep [cpu_abbrev gpu_abbrev [cycles]]
  */
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
-#include "metrics/experiment.hpp"
+#include "metrics/sweep.hpp"
 #include "ml/pipeline.hpp"
 #include "ml/policy.hpp"
 #include "traffic/suite.hpp"
@@ -91,32 +97,54 @@ main(int argc, char **argv)
     ml::TrainingPipeline pipeline(suite, train_cfg);
     const ml::PipelineResult trained = pipeline.run();
 
+    // Build the severity x policy grid.  Every cell pins the same
+    // traffic seed so the three policies face identical workloads and
+    // fault realisations at each severity.
+    std::vector<metrics::SweepJob> jobs;
+    for (const Severity &sev : sweep) {
+        for (const char *policy_name : {"fcfs", "reactive", "ml"}) {
+            const std::string pname = policy_name;
+            metrics::SweepJob job;
+            job.configName = std::string(sev.label) + "/" + pname;
+            job.label = job.configName;
+            job.pair = pair;
+            job.options = opts;
+            job.explicitSeed = opts.seed;
+            job.pearl = faultyConfig(sev);
+            if (pname == "fcfs") {
+                // PEARL-FCFS baseline: full power, no per-class DBA.
+                job.dba.mode = core::DbaConfig::Mode::Fcfs;
+                job.makePolicy = [] {
+                    return std::make_unique<core::StaticPolicy>(
+                        photonic::WlState::WL64);
+                };
+            } else if (pname == "reactive") {
+                job.makePolicy = [] {
+                    return std::make_unique<core::ReactivePolicy>();
+                };
+            } else {
+                job.makePolicy = [&trained] {
+                    return std::make_unique<ml::MlPowerPolicy>(
+                        &trained.model);
+                };
+            }
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    const metrics::SweepResult result =
+        metrics::SweepRunner().run(jobs);
+    if (const metrics::SweepJobResult *bad = result.firstError())
+        fatal("sweep job '", bad->metrics.configName,
+              "' failed: ", bad->error);
+
     TextTable t({"severity", "policy", "thru (flits/cyc)",
                  "avg lat (cyc)", "energy/bit (pJ)", "retx", "drops",
                  "timeouts"});
+    std::size_t idx = 0;
     for (const Severity &sev : sweep) {
-        for (const char *policy_name :
-             {"fcfs", "reactive", "ml"}) {
-            core::PearlConfig cfg = faultyConfig(sev);
-            core::DbaConfig dba;
-            core::StaticPolicy fcfs_policy(photonic::WlState::WL64);
-            core::ReactivePolicy reactive_policy;
-            ml::MlPowerPolicy ml_policy(&trained.model);
-
-            core::PowerPolicy *policy = nullptr;
-            if (std::string(policy_name) == "fcfs") {
-                // PEARL-FCFS baseline: full power, no per-class DBA.
-                dba.mode = core::DbaConfig::Mode::Fcfs;
-                policy = &fcfs_policy;
-            } else if (std::string(policy_name) == "reactive") {
-                policy = &reactive_policy;
-            } else {
-                policy = &ml_policy;
-            }
-
-            const metrics::RunMetrics m = metrics::runPearl(
-                pair, cfg, dba, *policy, opts,
-                std::string(sev.label) + "/" + policy_name);
+        for (const char *policy_name : {"fcfs", "reactive", "ml"}) {
+            const metrics::RunMetrics &m = result.jobs[idx++].metrics;
             t.addRow({sev.label, policy_name,
                       TextTable::num(m.throughputFlitsPerCycle, 3),
                       TextTable::num(m.avgLatencyCycles, 0),
@@ -134,5 +162,13 @@ main(int argc, char **argv)
            "appear when the retry budget is exhausted.  Power-scaling "
            "policies (reactive/ML) ride the fault-capped wavelength "
            "ceiling instead of commanding dead laser banks.\n";
+
+    const metrics::SweepSummary &s = result.summary;
+    std::cout << "\n[sweep] " << s.jobs << " jobs on " << s.threads
+              << " threads: wall " << TextTable::num(s.wallSeconds, 2)
+              << " s, aggregate "
+              << TextTable::num(s.aggregateJobSeconds, 2)
+              << " s, speedup " << TextTable::num(s.speedup(), 2)
+              << "x\n";
     return 0;
 }

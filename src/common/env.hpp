@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Strictly-validated environment-variable parsing.
+ *
+ * Every runtime knob (PEARL_BENCH_*, PEARL_SWEEP_THREADS, ...) goes
+ * through these helpers so a typo like PEARL_BENCH_CYCLES=abc warns and
+ * falls back to the default instead of silently becoming 0.
+ */
+
+#ifndef PEARL_COMMON_ENV_HPP
+#define PEARL_COMMON_ENV_HPP
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstdint>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace pearl {
+
+/**
+ * Parse `text` as an unsigned 64-bit integer.  Leading whitespace,
+ * trailing garbage, negative values and out-of-range values all count
+ * as parse failures.  @return true and set `out` on success.
+ */
+inline bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    const char *begin = text.c_str();
+    // strtoull silently accepts "-5" (wrapping it); reject any minus.
+    for (const char *p = begin; *p != '\0'; ++p) {
+        if (*p == '-')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(begin, &end, 10);
+    if (end == begin || errno == ERANGE)
+        return false;
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    if (*end != '\0')
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+/**
+ * Read an unsigned integer environment variable.  An unset variable
+ * yields `fallback`; an unparseable value warns and yields `fallback`.
+ */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    std::uint64_t out = 0;
+    if (!parseU64(v, out)) {
+        warn("ignoring unparseable ", name, "=\"", v, "\"; using ",
+             fallback);
+        return fallback;
+    }
+    return out;
+}
+
+} // namespace pearl
+
+#endif // PEARL_COMMON_ENV_HPP

@@ -16,6 +16,30 @@
 
 namespace pearl {
 
+/** One SplitMix64 output step (the mixer xoshiro seeds with). */
+inline std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Derive a decorrelated per-job seed from a base seed and a job index.
+ * Used by the sweep engine so job i's RNG stream depends only on
+ * (base, i) — never on thread scheduling or shared state — which makes
+ * sweep results bit-identical across any thread count.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    return splitMix64(splitMix64(base) ^
+                      splitMix64(index * 0xBF58476D1CE4E5B9ULL + 1));
+}
+
 /** Deterministic, forkable PRNG (xoshiro256**). */
 class Rng
 {

@@ -1,0 +1,177 @@
+#include "metrics/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace pearl {
+namespace metrics {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Run one job's simulation (descriptor or custom path). */
+RunMetrics
+executeJob(const SweepJob &job, std::uint64_t seed)
+{
+    if (job.custom)
+        return job.custom(job, seed);
+
+    RunOptions opts = job.options;
+    opts.seed = seed;
+    RunMetrics m;
+    switch (job.fabric) {
+    case SweepJob::Fabric::Pearl: {
+        if (!job.makePolicy) {
+            throw std::runtime_error("sweep job '" + job.configName +
+                                     "' has no policy factory");
+        }
+        std::unique_ptr<core::PowerPolicy> policy = job.makePolicy();
+        if (!policy) {
+            throw std::runtime_error("sweep job '" + job.configName +
+                                     "' produced a null policy");
+        }
+        m = runPearl(job.pair, job.pearl, job.dba, *policy, opts,
+                     job.configName);
+        break;
+    }
+    case SweepJob::Fabric::Cmesh:
+        m = runCmesh(job.pair, job.cmesh, opts, job.configName);
+        break;
+    }
+    if (!job.label.empty())
+        m.pairLabel = job.label;
+    return m;
+}
+
+} // namespace
+
+std::vector<RunMetrics>
+SweepResult::metricsOrThrow() const
+{
+    if (const SweepJobResult *bad = firstError()) {
+        throw std::runtime_error("sweep job '" +
+                                 bad->metrics.configName + "/" +
+                                 bad->metrics.pairLabel +
+                                 "' failed: " + bad->error);
+    }
+    std::vector<RunMetrics> out;
+    out.reserve(jobs.size());
+    for (const auto &j : jobs)
+        out.push_back(j.metrics);
+    return out;
+}
+
+unsigned
+SweepRunner::resolveThreads(unsigned requested)
+{
+    if (const char *v = std::getenv("PEARL_SWEEP_THREADS")) {
+        std::uint64_t n = 0;
+        if (parseU64(v, n) && n > 0) {
+            return static_cast<unsigned>(n);
+        }
+        warn("ignoring invalid PEARL_SWEEP_THREADS=\"", v, "\"");
+    }
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepResult
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    SweepResult result;
+    result.jobs.resize(jobs.size());
+
+    const std::size_t n = jobs.size();
+    const unsigned threads = std::min<std::size_t>(
+        resolveThreads(opts_.threads), n > 0 ? n : 1);
+    result.summary.jobs = n;
+    result.summary.threads = threads;
+    if (n == 0)
+        return result;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+
+    // Each worker claims job indices from the shared counter and writes
+    // only its own result slot, so the slots need no lock; joining the
+    // workers publishes everything to the caller.
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            const SweepJob &job = jobs[i];
+            SweepJobResult &slot = result.jobs[i];
+            slot.metrics.configName = job.configName;
+            slot.metrics.pairLabel =
+                job.label.empty() ? job.pair.label() : job.label;
+            slot.seed = job.explicitSeed
+                            ? *job.explicitSeed
+                            : deriveSeed(opts_.baseSeed, i);
+
+            if (opts_.cancelOnError &&
+                cancelled.load(std::memory_order_acquire)) {
+                slot.skipped = true;
+                slot.error = "skipped: sweep cancelled by an earlier "
+                             "failure";
+                continue;
+            }
+
+            const Clock::time_point start = Clock::now();
+            try {
+                slot.metrics = executeJob(job, slot.seed);
+                slot.ok = true;
+            } catch (const std::exception &e) {
+                slot.error = e.what();
+                cancelled.store(true, std::memory_order_release);
+            } catch (...) {
+                slot.error = "unknown exception";
+                cancelled.store(true, std::memory_order_release);
+            }
+            slot.wallSeconds = secondsSince(start);
+        }
+    };
+
+    const Clock::time_point sweep_start = Clock::now();
+    if (threads <= 1) {
+        worker(); // serial path: no threads spawned at all
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    result.summary.wallSeconds = secondsSince(sweep_start);
+
+    for (const SweepJobResult &j : result.jobs) {
+        result.summary.aggregateJobSeconds += j.wallSeconds;
+        if (!j.ok) {
+            if (j.skipped)
+                ++result.summary.skipped;
+            else
+                ++result.summary.failed;
+        }
+    }
+    return result;
+}
+
+} // namespace metrics
+} // namespace pearl

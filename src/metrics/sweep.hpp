@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Parallel sweep engine with deterministic replay.
+ *
+ * Every figure/table bench and example runs a (configuration x
+ * benchmark-pair) grid of independent `metrics::runExperiment`-style
+ * simulations.  `SweepRunner` executes such a grid on a pool of worker
+ * threads while guaranteeing that the results are *bit-identical* to a
+ * serial run:
+ *
+ *  - each job's RNG stream is derived from (base seed, job index) with
+ *    `deriveSeed` — never from shared global state or scheduling order;
+ *  - results are returned in submission order regardless of completion
+ *    order;
+ *  - per-run state (network, system, policy) is constructed inside the
+ *    worker, so jobs share nothing mutable.
+ *
+ * Thread count: `SweepOptions::threads`, defaulting to
+ * `std::thread::hardware_concurrency()`; the `PEARL_SWEEP_THREADS`
+ * environment variable overrides both, and `1` forces the serial path
+ * (no worker threads are spawned at all).
+ */
+
+#ifndef PEARL_METRICS_SWEEP_HPP
+#define PEARL_METRICS_SWEEP_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "electrical/cmesh.hpp"
+#include "metrics/experiment.hpp"
+
+namespace pearl {
+namespace metrics {
+
+/** One cell of a sweep grid. */
+struct SweepJob
+{
+    /** Which fabric the descriptor fields drive (ignored if `custom`
+     *  is set). */
+    enum class Fabric { Pearl, Cmesh };
+
+    std::string configName;           //!< stamped into RunMetrics
+    std::string label;                //!< overrides pairLabel if set
+    traffic::BenchmarkPair pair;
+    RunOptions options;               //!< seed is replaced per job
+    Fabric fabric = Fabric::Pearl;
+
+    core::PearlConfig pearl;
+    core::DbaConfig dba;
+    /** Builds this job's private policy instance.  Called from a worker
+     *  thread, so the factory must be safe to invoke concurrently with
+     *  the other jobs' factories (capture only immutable state). */
+    std::function<std::unique_ptr<core::PowerPolicy>()> makePolicy;
+
+    electrical::CmeshConfig cmesh;
+
+    /**
+     * Custom runner: replaces the descriptor path entirely.  Receives
+     * the job and its effective seed and returns the metrics.  Throwing
+     * marks the job failed (and cancels the sweep when
+     * `SweepOptions::cancelOnError` is set).
+     */
+    std::function<RunMetrics(const SweepJob &, std::uint64_t seed)> custom;
+
+    /**
+     * Fixed seed for this job instead of the derived (baseSeed, index)
+     * stream — for grids where several cells must see identical traffic
+     * (e.g. comparing policies under the same fault realisation).
+     */
+    std::optional<std::uint64_t> explicitSeed;
+};
+
+/** Sweep-wide knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware_concurrency().  The
+     *  PEARL_SWEEP_THREADS environment variable overrides either. */
+    unsigned threads = 0;
+    /** Base of the per-job seed derivation. */
+    std::uint64_t baseSeed = 100;
+    /** Skip jobs that have not started once any job fails. */
+    bool cancelOnError = true;
+};
+
+/** Outcome of one job. */
+struct SweepJobResult
+{
+    RunMetrics metrics;
+    std::uint64_t seed = 0;     //!< effective seed the job ran with
+    double wallSeconds = 0.0;
+    bool ok = false;
+    bool skipped = false;       //!< cancelled before it started
+    std::string error;          //!< failure reason when !ok
+};
+
+/** Aggregate timing of a sweep (for the bench summary footer). */
+struct SweepSummary
+{
+    std::size_t jobs = 0;
+    std::size_t failed = 0;
+    std::size_t skipped = 0;
+    unsigned threads = 1;
+    double wallSeconds = 0.0;          //!< whole-sweep wall time
+    double aggregateJobSeconds = 0.0;  //!< sum of per-job wall times
+
+    /** Aggregate-to-wall ratio: the parallel speedup actually achieved. */
+    double
+    speedup() const
+    {
+        return wallSeconds > 0.0 ? aggregateJobSeconds / wallSeconds : 1.0;
+    }
+};
+
+/** Everything a sweep produced, in submission order. */
+struct SweepResult
+{
+    std::vector<SweepJobResult> jobs;
+    SweepSummary summary;
+
+    bool
+    allOk() const
+    {
+        for (const auto &j : jobs) {
+            if (!j.ok)
+                return false;
+        }
+        return true;
+    }
+
+    /** First failed (not merely skipped) job, or nullptr. */
+    const SweepJobResult *
+    firstError() const
+    {
+        for (const auto &j : jobs) {
+            if (!j.ok && !j.skipped)
+                return &j;
+        }
+        return nullptr;
+    }
+
+    /** Metrics of every job, in submission order.  @throws
+     *  std::runtime_error if any job failed. */
+    std::vector<RunMetrics> metricsOrThrow() const;
+};
+
+/** Thread-pool executor for sweep grids. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+    /** Run all jobs; results come back in submission order. */
+    SweepResult run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Effective thread count: PEARL_SWEEP_THREADS if set and valid,
+     * else `requested` if nonzero, else hardware_concurrency().
+     */
+    static unsigned resolveThreads(unsigned requested);
+
+    const SweepOptions &options() const { return opts_; }
+
+  private:
+    SweepOptions opts_;
+};
+
+} // namespace metrics
+} // namespace pearl
+
+#endif // PEARL_METRICS_SWEEP_HPP

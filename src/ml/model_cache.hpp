@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Process-wide, mutex-guarded cache of trained pipeline results, keyed
+ * by reservation-window size.
+ *
+ * The figure benches share one trained ridge model per window size and
+ * persist it as pearl_ml_rw<RW>.model.  With the parallel sweep engine
+ * several jobs may want the same model at once; this cache makes the
+ * load-or-train step load-once: the first caller for a key runs the
+ * factory (file load / full training) under the lock while concurrent
+ * callers for that key block until the entry is ready, so nobody
+ * retrains redundantly or races on the model file.
+ *
+ * Entries are stored behind stable pointers, so the returned references
+ * stay valid for the life of the process even as more keys are added.
+ */
+
+#ifndef PEARL_ML_MODEL_CACHE_HPP
+#define PEARL_ML_MODEL_CACHE_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "ml/pipeline.hpp"
+
+namespace pearl {
+namespace ml {
+
+/** Load-once cache of trained models, keyed by reservation window. */
+class ModelCache
+{
+  public:
+    using Factory = std::function<PipelineResult()>;
+
+    /** The process-wide instance the benches share. */
+    static ModelCache &
+    instance()
+    {
+        static ModelCache cache;
+        return cache;
+    }
+
+    /**
+     * Return the cached entry for `rw`, running `make` (at most once
+     * per key) to create it.  Safe to call from concurrent sweep jobs;
+     * the factory runs under the cache lock, so a slow training run
+     * simply makes the other callers wait for the finished model.
+     */
+    const PipelineResult &
+    get(std::uint64_t rw, const Factory &make)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = models_.find(rw);
+        if (it == models_.end()) {
+            it = models_
+                     .emplace(rw, std::make_unique<PipelineResult>(make()))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    /** Drop all entries (tests only). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        models_.clear();
+    }
+
+  private:
+    std::mutex mu_;
+    std::map<std::uint64_t, std::unique_ptr<PipelineResult>> models_;
+};
+
+} // namespace ml
+} // namespace pearl
+
+#endif // PEARL_ML_MODEL_CACHE_HPP

@@ -94,6 +94,31 @@ struct LoadPoint
 };
 
 /**
+ * Measure one point of a latency-load curve: drive `network` with the
+ * injector configuration for `cycles` cycles and record the delivered
+ * throughput, mean latency and saturation state.
+ */
+inline LoadPoint
+measureLoadPoint(sim::Network &network, const SyntheticConfig &cfg,
+                 sim::Cycle cycles)
+{
+    SyntheticInjector injector(cfg);
+    for (sim::Cycle t = 0; t < cycles; ++t)
+        injector.step(network);
+
+    LoadPoint point;
+    point.offeredFlitsPerSourcePerCycle = cfg.flitsPerSourcePerCycle;
+    point.deliveredFlitsPerCycle =
+        network.stats().throughputFlitsPerCycle(cycles);
+    point.avgLatencyCycles = network.stats().avgLatency();
+    // Saturation heuristic: a backlog worth >5% of the generated
+    // packets is still waiting.
+    point.saturated =
+        injector.backlogSize() * 20 > injector.generatedCount();
+    return point;
+}
+
+/**
  * Run a latency-load sweep: for each offered load, build a network with
  * `make_network`, drive it for `cycles_per_point` cycles and record the
  * delivered throughput and mean latency.
@@ -110,20 +135,8 @@ latencyLoadSweep(MakeNetwork &&make_network,
         auto network = make_network();
         SyntheticConfig cfg = base_cfg;
         cfg.flitsPerSourcePerCycle = load;
-        SyntheticInjector injector(cfg);
-        for (sim::Cycle t = 0; t < cycles_per_point; ++t)
-            injector.step(*network);
-
-        LoadPoint point;
-        point.offeredFlitsPerSourcePerCycle = load;
-        point.deliveredFlitsPerCycle =
-            network->stats().throughputFlitsPerCycle(cycles_per_point);
-        point.avgLatencyCycles = network->stats().avgLatency();
-        // Saturation heuristic: a backlog worth >5% of the generated
-        // packets is still waiting.
-        point.saturated =
-            injector.backlogSize() * 20 > injector.generatedCount();
-        curve.push_back(point);
+        curve.push_back(
+            measureLoadPoint(*network, cfg, cycles_per_point));
     }
     return curve;
 }

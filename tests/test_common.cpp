@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/reservoir.hpp"
@@ -117,6 +119,64 @@ TEST(Rng, GeometricMeanRoughlyInverseP)
     for (int i = 0; i < n; ++i)
         total += static_cast<double>(rng.geometric(0.25));
     EXPECT_NEAR(total / n, 4.0, 0.25);
+}
+
+TEST(Rng, DeriveSeedIsPureAndDecorrelated)
+{
+    // Same (base, index) -> same seed; any change -> different seed.
+    EXPECT_EQ(deriveSeed(100, 0), deriveSeed(100, 0));
+    EXPECT_NE(deriveSeed(100, 0), deriveSeed(100, 1));
+    EXPECT_NE(deriveSeed(100, 0), deriveSeed(101, 0));
+
+    // Streams seeded from adjacent indices must not track each other.
+    Rng a(deriveSeed(7, 3)), b(deriveSeed(7, 4));
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+
+    // No collisions over a realistic sweep width.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        seen.insert(deriveSeed(100, i));
+    EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(Env, ParseU64AcceptsPlainIntegers)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("60000", v));
+    EXPECT_EQ(v, 60000u);
+    EXPECT_TRUE(parseU64("18446744073709551615", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Env, ParseU64RejectsGarbage)
+{
+    std::uint64_t v = 0;
+    EXPECT_FALSE(parseU64("abc", v));
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("12abc", v));
+    EXPECT_FALSE(parseU64("-5", v));
+    EXPECT_FALSE(parseU64("1e4", v));
+    // Out of range for 64 bits.
+    EXPECT_FALSE(parseU64("99999999999999999999999", v));
+}
+
+TEST(Env, EnvU64FallsBackOnGarbage)
+{
+    // The old std::atoll path silently turned garbage into 0; the
+    // strict parser must warn and keep the fallback instead.
+    setenv("PEARL_TEST_ENV_U64", "abc", 1);
+    EXPECT_EQ(envU64("PEARL_TEST_ENV_U64", 1234u), 1234u);
+
+    setenv("PEARL_TEST_ENV_U64", "77", 1);
+    EXPECT_EQ(envU64("PEARL_TEST_ENV_U64", 1234u), 77u);
+
+    unsetenv("PEARL_TEST_ENV_U64");
+    EXPECT_EQ(envU64("PEARL_TEST_ENV_U64", 1234u), 1234u);
 }
 
 TEST(RunningStat, MeanVarianceMinMax)

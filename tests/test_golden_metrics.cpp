@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Golden-metrics regression suite.
+ *
+ * Runs a small fixed grid — 3 benchmark pairs x {FCFS, reactive, ML} at
+ * short cycle counts — through the sweep engine and compares every
+ * RunMetrics field against checked-in CSVs under tests/golden/.  Any
+ * drift in simulation output fails with a field-level diff naming the
+ * config, pair and field.
+ *
+ * Regenerate the golden files after an intentional behaviour change:
+ *   PEARL_UPDATE_GOLDEN=1 ./test_golden_metrics
+ * and commit the updated tests/golden/*.csv.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "metrics/sweep.hpp"
+#include "ml/pipeline.hpp"
+#include "ml/policy.hpp"
+#include "traffic/suite.hpp"
+
+#ifndef PEARL_GOLDEN_DIR
+#error "PEARL_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace pearl {
+namespace metrics {
+namespace {
+
+/** One named, typed field of a RunMetrics row. */
+struct Field
+{
+    std::string name;
+    bool isInteger = false;
+    std::uint64_t u = 0;
+    double d = 0.0;
+};
+
+std::vector<Field>
+fieldsOf(const RunMetrics &m)
+{
+    std::vector<Field> f;
+    auto addU = [&f](const char *n, std::uint64_t v) {
+        f.push_back({n, true, v, 0.0});
+    };
+    auto addD = [&f](const std::string &n, double v) {
+        f.push_back({n, false, 0, v});
+    };
+    addU("cycles", m.cycles);
+    addU("deliveredPackets", m.deliveredPackets);
+    addU("deliveredFlits", m.deliveredFlits);
+    addU("deliveredBits", m.deliveredBits);
+    addU("cpuPackets", m.cpuPackets);
+    addU("gpuPackets", m.gpuPackets);
+    addD("throughputFlitsPerCycle", m.throughputFlitsPerCycle);
+    addD("throughputGbps", m.throughputGbps);
+    addD("avgLatencyCycles", m.avgLatencyCycles);
+    addD("cpuLatencyCycles", m.cpuLatencyCycles);
+    addD("gpuLatencyCycles", m.gpuLatencyCycles);
+    addD("totalEnergyJ", m.totalEnergyJ);
+    addD("energyPerBitPj", m.energyPerBitPj);
+    addD("laserPowerW", m.laserPowerW);
+    addU("corruptedPackets", m.corruptedPackets);
+    addU("reservationDrops", m.reservationDrops);
+    addU("retransmittedPackets", m.retransmittedPackets);
+    addU("ackTimeouts", m.ackTimeouts);
+    addU("droppedPackets", m.droppedPackets);
+    addU("thermalUnlockedCycles", m.thermalUnlockedCycles);
+    for (std::size_t s = 0; s < m.residency.size(); ++s)
+        addD("residency" + std::to_string(s), m.residency[s]);
+    return f;
+}
+
+std::string
+formatValue(const Field &f)
+{
+    if (f.isInteger)
+        return std::to_string(f.u);
+    std::ostringstream oss;
+    oss << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << f.d;
+    return oss.str();
+}
+
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+/** Doubles must round-trip exactly through the CSV; the tiny relative
+ *  tolerance only absorbs printf/strtod last-ulp asymmetries, never a
+ *  real behaviour change. */
+bool
+doubleMatches(double golden, double actual)
+{
+    if (golden == actual)
+        return true;
+    const double scale =
+        std::max(std::abs(golden), std::abs(actual));
+    return std::abs(golden - actual) <= 1e-12 * scale;
+}
+
+/** The fixed grid: one sweep per config over three test pairs. */
+struct GoldenConfig
+{
+    std::string name;                       //!< also the CSV stem
+    std::vector<SweepJob> jobs;
+};
+
+RunOptions
+goldenOptions()
+{
+    RunOptions opts;
+    opts.warmupCycles = 400;
+    opts.measureCycles = 2500;
+    return opts;
+}
+
+std::vector<traffic::BenchmarkPair>
+goldenPairs(const traffic::BenchmarkSuite &suite)
+{
+    return {
+        {suite.find("Rad"), suite.find("QRS")},
+        {suite.find("FA"), suite.find("Reduc")},
+        {suite.find("x264"), suite.find("DCT")},
+    };
+}
+
+/** Tiny deterministic training run for the ML column (fixed pipeline
+ *  seed; no model-file involvement, so the test is state-free). */
+const ml::PipelineResult &
+goldenModel(const traffic::BenchmarkSuite &suite)
+{
+    static const ml::PipelineResult trained = [&suite] {
+        ml::PipelineConfig cfg;
+        cfg.reservationWindow = 500;
+        cfg.simCycles = 4000;
+        cfg.maxTrainPairs = 2;
+        cfg.maxValPairs = 1;
+        cfg.secondPass = false;
+        cfg.lambdaGrid = {0.1, 10.0};
+        return ml::TrainingPipeline(suite, cfg).run();
+    }();
+    return trained;
+}
+
+std::vector<GoldenConfig>
+goldenGrid(const traffic::BenchmarkSuite &suite)
+{
+    const RunOptions opts = goldenOptions();
+    const auto pairs = goldenPairs(suite);
+
+    std::vector<GoldenConfig> grid;
+    auto addConfig =
+        [&](const std::string &name, const core::DbaConfig &dba,
+            std::function<std::unique_ptr<core::PowerPolicy>()> make) {
+            GoldenConfig cfg;
+            cfg.name = name;
+            for (const auto &pair : pairs) {
+                SweepJob job;
+                job.configName = name;
+                job.pair = pair;
+                job.options = opts;
+                job.dba = dba;
+                job.pearl.reservationWindow = 500;
+                job.makePolicy = make;
+                cfg.jobs.push_back(std::move(job));
+            }
+            grid.push_back(std::move(cfg));
+        };
+
+    core::DbaConfig fcfs;
+    fcfs.mode = core::DbaConfig::Mode::Fcfs;
+    addConfig("fcfs", fcfs, [] {
+        return std::make_unique<core::StaticPolicy>(
+            photonic::WlState::WL64);
+    });
+    addConfig("reactive", core::DbaConfig{}, [] {
+        return std::make_unique<core::ReactivePolicy>();
+    });
+    const ml::RidgeRegression &model = goldenModel(suite).model;
+    addConfig("ml", core::DbaConfig{}, [&model] {
+        return std::make_unique<ml::MlPowerPolicy>(&model);
+    });
+    return grid;
+}
+
+std::string
+goldenPath(const std::string &config)
+{
+    return std::string(PEARL_GOLDEN_DIR) + "/" + config + ".csv";
+}
+
+void
+writeGolden(const GoldenConfig &cfg,
+            const std::vector<RunMetrics> &runs)
+{
+    const std::string path = goldenPath(cfg.name);
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << "pair";
+    for (const Field &f : fieldsOf(runs.front()))
+        out << "," << f.name;
+    out << "\n";
+    for (const RunMetrics &m : runs) {
+        out << m.pairLabel;
+        for (const Field &f : fieldsOf(m))
+            out << "," << formatValue(f);
+        out << "\n";
+    }
+}
+
+void
+compareGolden(const GoldenConfig &cfg,
+              const std::vector<RunMetrics> &runs)
+{
+    const std::string path = goldenPath(cfg.name);
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — regenerate with PEARL_UPDATE_GOLDEN=1";
+
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)) << "empty golden " << path;
+    const std::vector<std::string> header = splitCsv(line);
+
+    for (const RunMetrics &m : runs) {
+        ASSERT_TRUE(std::getline(in, line))
+            << path << ": fewer rows than the grid has runs";
+        const std::vector<std::string> cells = splitCsv(line);
+        const std::vector<Field> fields = fieldsOf(m);
+        ASSERT_EQ(cells.size(), fields.size() + 1)
+            << path << ": column count mismatch (stale golden format?)";
+        EXPECT_EQ(cells[0], m.pairLabel) << path << ": row order drift";
+
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            const Field &f = fields[i];
+            ASSERT_EQ(header[i + 1], f.name)
+                << path << ": header mismatch at column " << i + 1;
+            const std::string where = cfg.name + "/" + m.pairLabel +
+                                      " field " + f.name;
+            if (f.isInteger) {
+                EXPECT_EQ(cells[i + 1], std::to_string(f.u))
+                    << where << ": golden " << cells[i + 1]
+                    << " vs actual " << f.u;
+            } else {
+                const double golden = std::strtod(cells[i + 1].c_str(),
+                                                  nullptr);
+                EXPECT_TRUE(doubleMatches(golden, f.d))
+                    << where << ": golden " << cells[i + 1]
+                    << " vs actual " << formatValue(f);
+            }
+        }
+    }
+    EXPECT_FALSE(std::getline(in, line))
+        << path << ": more rows than the grid has runs";
+}
+
+TEST(GoldenMetrics, FixedGridMatchesCheckedInResults)
+{
+    const bool update = pearl::envU64("PEARL_UPDATE_GOLDEN", 0) != 0;
+
+    traffic::BenchmarkSuite suite;
+    for (const GoldenConfig &cfg : goldenGrid(suite)) {
+        SCOPED_TRACE("config " + cfg.name);
+        SweepOptions so;
+        so.baseSeed = 100;
+        const SweepResult result = SweepRunner(so).run(cfg.jobs);
+        ASSERT_TRUE(result.allOk())
+            << (result.firstError() ? result.firstError()->error
+                                    : "unknown");
+        const std::vector<RunMetrics> runs = result.metricsOrThrow();
+
+        // Sanity: the grid must simulate real traffic, or the goldens
+        // would freeze trivial zeros.
+        for (const RunMetrics &m : runs)
+            ASSERT_GT(m.deliveredPackets, 0u);
+
+        if (update) {
+            writeGolden(cfg, runs);
+            std::cout << "[golden] updated " << goldenPath(cfg.name)
+                      << "\n";
+        } else {
+            compareGolden(cfg, runs);
+        }
+    }
+}
+
+} // namespace
+} // namespace metrics
+} // namespace pearl
