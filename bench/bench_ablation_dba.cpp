@@ -46,7 +46,7 @@ main()
     TextTable t({"variant", "thru (flits/cyc)", "avg lat (cyc)",
                  "CPU pkts", "GPU pkts"});
     for (const auto &v : variants) {
-        const auto runs = bench::runPearlConfig(
+        const auto runs = bench::runPearlGrid(
             suite, v.name, cfg, v.dba, [] {
                 return std::make_unique<core::StaticPolicy>(
                     photonic::WlState::WL64);

@@ -21,7 +21,7 @@ main()
 
     // Baseline.
     core::PearlConfig base_cfg;
-    const auto base_runs = bench::runPearlConfig(
+    const auto base_runs = bench::runPearlGrid(
         suite, "64WL", base_cfg, dba, [] {
             return std::make_unique<core::StaticPolicy>(
                 photonic::WlState::WL64);
@@ -42,7 +42,7 @@ main()
         thr.lower *= scale;
         core::PearlConfig cfg;
         cfg.reservationWindow = 500;
-        const auto runs = bench::runPearlConfig(
+        const auto runs = bench::runPearlGrid(
             suite, "Dyn", cfg, dba, [thr] {
                 return std::make_unique<core::ReactivePolicy>(thr);
             });

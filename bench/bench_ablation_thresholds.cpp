@@ -26,7 +26,7 @@ main()
             core::DbaConfig dba;
             dba.cpuUpperBound = cpu_ub;
             dba.gpuUpperBound = gpu_ub;
-            const auto runs = bench::runPearlConfig(
+            const auto runs = bench::runPearlGrid(
                 suite, "sweep", cfg, dba, [] {
                     return std::make_unique<core::StaticPolicy>(
                         photonic::WlState::WL64);

@@ -13,11 +13,15 @@
  *   PEARL_BENCH_CSV      also print CSV               (default 0)
  *   PEARL_SWEEP_THREADS  sweep worker threads; 1 = serial
  *                        (default: hardware concurrency)
+ *   PEARL_TRACE          per-window event tracing     (default 0)
+ *   PEARL_TRACE_PATH     trace file stem (".jsonl" -> JSONL backend,
+ *                        else Chrome trace; one file per sweep job)
+ *   PEARL_METRICS_DUMP   append canonical RunMetrics CSV rows here
  *
- * The (config x pair) grids run through `metrics::SweepRunner`, so they
- * scale with cores while staying bit-identical to a serial run (each
- * job's seed is derived from (base seed, job index), never from
- * scheduling order).
+ * The (config x pair) grids run through the `metrics::Runner` facade
+ * (parallel sweep engine underneath), so they scale with cores while
+ * staying bit-identical to a serial run (each job's seed is derived
+ * from (base seed, job index), never from scheduling order).
  *
  * Trained ridge models are cached as pearl_ml_rw<RW>.model in the
  * working directory so the figure benches that share a model do not
@@ -38,6 +42,7 @@
 #include "common/env.hpp"
 #include "common/table.hpp"
 #include "metrics/experiment.hpp"
+#include "metrics/runner.hpp"
 #include "metrics/sweep.hpp"
 #include "ml/model_cache.hpp"
 #include "ml/pipeline.hpp"
@@ -117,6 +122,12 @@ class SweepTracker
         total_.threads = std::max(total_.threads, s.threads);
         total_.wallSeconds += s.wallSeconds;
         total_.aggregateJobSeconds += s.aggregateJobSeconds;
+        total_.phaseSeconds.buildSeconds += s.phaseSeconds.buildSeconds;
+        total_.phaseSeconds.warmupSeconds +=
+            s.phaseSeconds.warmupSeconds;
+        total_.phaseSeconds.runSeconds += s.phaseSeconds.runSeconds;
+        total_.phaseSeconds.collectSeconds +=
+            s.phaseSeconds.collectSeconds;
         ++sweeps_;
     }
 
@@ -134,6 +145,14 @@ class SweepTracker
            << TextTable::num(total_.aggregateJobSeconds, 2)
            << " s, speedup " << TextTable::num(total_.speedup(), 2)
            << "x\n";
+        const metrics::PhaseTimings &p = total_.phaseSeconds;
+        if (p.totalSeconds() > 0.0) {
+            os << "[sweep] phases (aggregate): build "
+               << TextTable::num(p.buildSeconds, 2) << " s, warmup "
+               << TextTable::num(p.warmupSeconds, 2) << " s, run "
+               << TextTable::num(p.runSeconds, 2) << " s, collect "
+               << TextTable::num(p.collectSeconds, 2) << " s\n";
+        }
     }
 
   private:
@@ -149,16 +168,20 @@ sweepFooter()
     SweepTracker::instance().print(std::cout);
 }
 
-/** Run a job grid through the sweep engine, feed the footer tracker,
- *  and return the metrics in submission order (fatal on job failure). */
+/**
+ * Run a spec grid through the metrics::Runner facade (environment
+ * configured: trace/dump knobs + PEARL_SWEEP_THREADS), feed the footer
+ * tracker, and return the metrics in submission order (fatal on
+ * failure).
+ */
 inline std::vector<metrics::RunMetrics>
-runSweep(const std::vector<metrics::SweepJob> &jobs,
-         std::uint64_t base_seed = 100)
+runGrid(const std::vector<metrics::RunSpec> &specs,
+        std::uint64_t base_seed = 100)
 {
-    metrics::SweepOptions so;
-    so.baseSeed = base_seed;
+    metrics::RunnerOptions ro = metrics::RunnerOptions::fromEnv();
+    ro.sweep.baseSeed = base_seed;
     const metrics::SweepResult result =
-        metrics::SweepRunner(so).run(jobs);
+        metrics::Runner(ro).sweep(specs);
     SweepTracker::instance().add(result.summary);
     if (const metrics::SweepJobResult *bad = result.firstError()) {
         fatal("sweep job '", bad->metrics.configName, "/",
@@ -226,48 +249,28 @@ trainedModel(const traffic::BenchmarkSuite &suite, std::uint64_t rw,
     });
 }
 
-/** Run a PEARL configuration over all test pairs (one sweep job per
+/** Run a PEARL configuration over all test pairs (one Runner spec per
  *  pair, executed in parallel) and return per-pair metrics. */
 template <typename MakePolicy>
 std::vector<metrics::RunMetrics>
-runPearlConfig(const traffic::BenchmarkSuite &suite,
-               const std::string &name, const core::PearlConfig &net_cfg,
-               const core::DbaConfig &dba, MakePolicy &&make_policy)
+runPearlGrid(const traffic::BenchmarkSuite &suite,
+             const std::string &name, const core::PearlConfig &net_cfg,
+             const core::DbaConfig &dba, MakePolicy &&make_policy)
 {
-    const auto opts = runOptions();
-    std::vector<metrics::SweepJob> jobs;
-    for (const auto &pair : testPairs(suite)) {
-        metrics::SweepJob job;
-        job.configName = name;
-        job.pair = pair;
-        job.options = opts;
-        job.pearl = net_cfg;
-        job.dba = dba;
-        job.makePolicy = make_policy;
-        jobs.push_back(std::move(job));
-    }
-    return runSweep(jobs);
+    return runGrid(metrics::pearlGrid(
+        name, testPairs(suite), net_cfg, dba,
+        std::forward<MakePolicy>(make_policy), runOptions()));
 }
 
-/** Run the CMESH baseline over all test pairs through the sweep
- *  engine (same derived seeds as the PEARL configs). */
+/** Run the CMESH baseline over all test pairs through the Runner
+ *  facade (same derived seeds as the PEARL configs). */
 inline std::vector<metrics::RunMetrics>
-runCmeshConfig(const traffic::BenchmarkSuite &suite,
-               const std::string &name,
-               const electrical::CmeshConfig &mesh)
+runCmeshGrid(const traffic::BenchmarkSuite &suite,
+             const std::string &name,
+             const electrical::CmeshConfig &mesh)
 {
-    const auto opts = runOptions();
-    std::vector<metrics::SweepJob> jobs;
-    for (const auto &pair : testPairs(suite)) {
-        metrics::SweepJob job;
-        job.configName = name;
-        job.pair = pair;
-        job.options = opts;
-        job.fabric = metrics::SweepJob::Fabric::Cmesh;
-        job.cmesh = mesh;
-        jobs.push_back(std::move(job));
-    }
-    return runSweep(jobs);
+    return runGrid(
+        metrics::cmeshGrid(name, testPairs(suite), mesh, runOptions()));
 }
 
 } // namespace bench

@@ -30,12 +30,12 @@ main()
     core::PearlConfig cfg;
     cfg.reservationWindow = rw;
     const auto base = bench::finish(
-        "64WL", bench::runPearlConfig(suite, "64WL", cfg, dba, [] {
+        "64WL", bench::runPearlGrid(suite, "64WL", cfg, dba, [] {
             return std::make_unique<core::StaticPolicy>(
                 photonic::WlState::WL64);
         }));
     const auto reactive = bench::finish(
-        "Dyn RW500", bench::runPearlConfig(suite, "Dyn", cfg, dba, [] {
+        "Dyn RW500", bench::runPearlGrid(suite, "Dyn", cfg, dba, [] {
             return std::make_unique<core::ReactivePolicy>();
         }));
 
@@ -43,7 +43,7 @@ main()
     ml::MlPolicyConfig pol;
     const auto offline = bench::finish(
         "ML RW500 (offline)",
-        bench::runPearlConfig(suite, "ML", cfg, dba, [&trained, pol] {
+        bench::runPearlGrid(suite, "ML", cfg, dba, [&trained, pol] {
             return std::make_unique<ml::MlPowerPolicy>(&trained.model,
                                                        pol);
         }));
@@ -52,7 +52,7 @@ main()
     // offline weights.
     const auto online = bench::finish(
         "ML RW500 (online RLS)",
-        bench::runPearlConfig(
+        bench::runPearlGrid(
             suite, "online", cfg, dba, [&trained, pol] {
                 struct Holder : core::PowerPolicy
                 {

@@ -24,7 +24,7 @@ main()
     // Baseline for normalisation.
     core::PearlConfig base_cfg;
     const auto baseline = bench::finish(
-        "64WL", bench::runPearlConfig(suite, "64WL", base_cfg, dba, [] {
+        "64WL", bench::runPearlGrid(suite, "64WL", base_cfg, dba, [] {
             return std::make_unique<core::StaticPolicy>(
                 photonic::WlState::WL64);
         }));
@@ -42,7 +42,7 @@ main()
         ml::MlPolicyConfig pol;
         const auto result = bench::finish(
             "ML RW" + std::to_string(rw),
-            bench::runPearlConfig(suite, "ML", cfg, dba, [&model, pol] {
+            bench::runPearlGrid(suite, "ML", cfg, dba, [&model, pol] {
                 return std::make_unique<ml::MlPowerPolicy>(&model.model,
                                                            pol);
             }));

@@ -33,7 +33,7 @@ main()
             cfg.laserTurnOnCycles = static_cast<std::uint64_t>(2 * ns);
             const auto result = bench::finish(
                 "Dyn RW" + std::to_string(rw),
-                bench::runPearlConfig(suite, "Dyn", cfg, dba, [] {
+                bench::runPearlGrid(suite, "Dyn", cfg, dba, [] {
                     return std::make_unique<core::ReactivePolicy>();
                 }));
             if (ns == 2)

@@ -22,7 +22,7 @@ main()
     core::PearlConfig cfg;
     core::DbaConfig dba;
 
-    const auto runs = bench::runPearlConfig(
+    const auto runs = bench::runPearlGrid(
         suite, "PEARL-Dyn", cfg, dba, [] {
             return std::make_unique<core::StaticPolicy>(
                 photonic::WlState::WL64);

@@ -54,7 +54,7 @@ main()
         core::DbaConfig dyn;
         rows.push_back(
             {"PEARL-Dyn " + suffix,
-             averageOf(bench::runPearlConfig(
+             averageOf(bench::runPearlGrid(
                  suite, "PEARL-Dyn " + suffix, net_cfg, dyn, [state] {
                      return std::make_unique<core::StaticPolicy>(state);
                  }))});
@@ -63,7 +63,7 @@ main()
         fcfs.mode = core::DbaConfig::Mode::Fcfs;
         rows.push_back(
             {"PEARL-FCFS " + suffix,
-             averageOf(bench::runPearlConfig(
+             averageOf(bench::runPearlGrid(
                  suite, "PEARL-FCFS " + suffix, net_cfg, fcfs, [state] {
                      return std::make_unique<core::StaticPolicy>(state);
                  }))});
@@ -71,7 +71,7 @@ main()
         electrical::CmeshConfig mesh;
         mesh.linkCyclesPerFlit = cmesh_slowdown[i];
         rows.push_back({"CMESH " + suffix,
-                        averageOf(bench::runCmeshConfig(
+                        averageOf(bench::runCmeshGrid(
                             suite, "CMESH " + suffix, mesh))});
     }
 

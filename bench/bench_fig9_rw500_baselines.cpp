@@ -30,7 +30,7 @@ main()
         core::PearlConfig cfg;
         results.push_back(bench::finish(
             "PEARL-Dyn (64WL)",
-            bench::runPearlConfig(suite, "PEARL-Dyn", cfg, dba, [] {
+            bench::runPearlGrid(suite, "PEARL-Dyn", cfg, dba, [] {
                 return std::make_unique<core::StaticPolicy>(
                     photonic::WlState::WL64);
             })));
@@ -42,7 +42,7 @@ main()
         fcfs.mode = core::DbaConfig::Mode::Fcfs;
         results.push_back(bench::finish(
             "PEARL-FCFS (64WL)",
-            bench::runPearlConfig(suite, "PEARL-FCFS", cfg, fcfs, [] {
+            bench::runPearlGrid(suite, "PEARL-FCFS", cfg, fcfs, [] {
                 return std::make_unique<core::StaticPolicy>(
                     photonic::WlState::WL64);
             })));
@@ -53,7 +53,7 @@ main()
         cfg.reservationWindow = 500;
         results.push_back(bench::finish(
             "Dyn RW500",
-            bench::runPearlConfig(suite, "Dyn RW500", cfg, dba, [] {
+            bench::runPearlGrid(suite, "Dyn RW500", cfg, dba, [] {
                 return std::make_unique<core::ReactivePolicy>();
             })));
     }
@@ -66,7 +66,7 @@ main()
         pol.enable8Wl = false;
         results.push_back(bench::finish(
             "ML RW500 (no 8WL)",
-            bench::runPearlConfig(suite, "ML RW500", cfg, dba,
+            bench::runPearlGrid(suite, "ML RW500", cfg, dba,
                                   [&model, pol] {
                                       return std::make_unique<
                                           ml::MlPowerPolicy>(
@@ -77,7 +77,7 @@ main()
     {
         electrical::CmeshConfig mesh;
         results.push_back(bench::finish(
-            "CMESH", bench::runCmeshConfig(suite, "CMESH", mesh)));
+            "CMESH", bench::runCmeshGrid(suite, "CMESH", mesh)));
     }
 
     const double cmesh_thru =

@@ -60,7 +60,7 @@ runPowerScalingConfigs(const traffic::BenchmarkSuite &suite,
         core::PearlConfig cfg; // RW irrelevant for a static policy
         results.push_back(finish(
             "64WL (PEARL-Dyn)",
-            runPearlConfig(suite, "64WL", cfg, dba, [] {
+            runPearlGrid(suite, "64WL", cfg, dba, [] {
                 return std::make_unique<core::StaticPolicy>(
                     photonic::WlState::WL64);
             })));
@@ -71,7 +71,7 @@ runPowerScalingConfigs(const traffic::BenchmarkSuite &suite,
         cfg.reservationWindow = rw;
         results.push_back(finish(
             "Dyn RW" + std::to_string(rw),
-            runPearlConfig(suite, "Dyn", cfg, dba, [] {
+            runPearlGrid(suite, "Dyn", cfg, dba, [] {
                 return std::make_unique<core::ReactivePolicy>();
             })));
     };
@@ -90,7 +90,7 @@ runPowerScalingConfigs(const traffic::BenchmarkSuite &suite,
         ml::MlPolicyConfig pol;
         pol.enable8Wl = enable8;
         results.push_back(finish(
-            name, runPearlConfig(suite, name, cfg, dba,
+            name, runPearlGrid(suite, name, cfg, dba,
                                  [&model, pol] {
                                      return std::make_unique<
                                          ml::MlPowerPolicy>(&model, pol);

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "common/table.hpp"
-#include "metrics/sweep.hpp"
+#include "metrics/runner.hpp"
 #include "ml/pipeline.hpp"
 #include "ml/policy.hpp"
 #include "traffic/suite.hpp"
@@ -100,11 +100,11 @@ main(int argc, char **argv)
     // Build the severity x policy grid.  Every cell pins the same
     // traffic seed so the three policies face identical workloads and
     // fault realisations at each severity.
-    std::vector<metrics::SweepJob> jobs;
+    std::vector<metrics::RunSpec> jobs;
     for (const Severity &sev : sweep) {
         for (const char *policy_name : {"fcfs", "reactive", "ml"}) {
             const std::string pname = policy_name;
-            metrics::SweepJob job;
+            metrics::RunSpec job;
             job.configName = std::string(sev.label) + "/" + pname;
             job.label = job.configName;
             job.pair = pair;
@@ -133,7 +133,7 @@ main(int argc, char **argv)
     }
 
     const metrics::SweepResult result =
-        metrics::SweepRunner().run(jobs);
+        metrics::Runner().sweep(jobs);
     if (const metrics::SweepJobResult *bad = result.firstError())
         fatal("sweep job '", bad->metrics.configName,
               "' failed: ", bad->error);

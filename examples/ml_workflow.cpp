@@ -19,9 +19,10 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/table.hpp"
-#include "metrics/experiment.hpp"
+#include "metrics/runner.hpp"
 #include "ml/features.hpp"
 #include "ml/pipeline.hpp"
 #include "traffic/suite.hpp"
@@ -91,12 +92,28 @@ main(int argc, char **argv)
     net_cfg.reservationWindow = 500;
     core::DbaConfig dba;
 
-    core::StaticPolicy wl64(photonic::WlState::WL64);
-    const auto base = metrics::runPearl(test_pairs[0], net_cfg, dba,
-                                        wl64, opts, "64WL");
-    ml::MlPowerPolicy ml_policy(&result.model);
-    const auto deployed = metrics::runPearl(test_pairs[0], net_cfg, dba,
-                                            ml_policy, opts, "ML");
+    metrics::Runner runner;
+    auto deploy =
+        [&](const std::string &name,
+            std::function<std::unique_ptr<core::PowerPolicy>()> make) {
+            metrics::RunSpec spec;
+            spec.configName = name;
+            spec.pair = test_pairs[0];
+            spec.options = opts;
+            spec.fabric = metrics::RunSpec::Fabric::Pearl;
+            spec.pearl = net_cfg;
+            spec.dba = dba;
+            spec.makePolicy = std::move(make);
+            return runner.run(spec);
+        };
+    const auto base = deploy("64WL", [] {
+        return std::make_unique<core::StaticPolicy>(
+            photonic::WlState::WL64);
+    });
+    // `result` outlives the synchronous run below.
+    const auto deployed = deploy("ML", [&result] {
+        return std::make_unique<ml::MlPowerPolicy>(&result.model);
+    });
     TextTable d({"config", "laser (W)", "thru (flits/cyc)"});
     for (const auto &m : {base, deployed}) {
         d.addRow({m.configName, TextTable::num(m.laserPowerW, 3),

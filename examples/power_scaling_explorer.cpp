@@ -5,7 +5,9 @@
  * Runs one benchmark pair under every wavelength-scaling policy the
  * library provides — static states, the reactive scaler at several
  * window sizes, and (optionally, given a cached model file) the ML
- * scaler — and prints the laser-power / throughput frontier.
+ * scaler — and prints the laser-power / throughput frontier.  Every
+ * run goes through the `metrics::Runner` facade, so the PEARL_TRACE /
+ * PEARL_METRICS_DUMP knobs work here too.
  *
  * Usage: power_scaling_explorer [cpu_abbrev gpu_abbrev [cycles]]
  */
@@ -15,7 +17,7 @@
 #include <memory>
 
 #include "common/table.hpp"
-#include "metrics/experiment.hpp"
+#include "metrics/runner.hpp"
 #include "ml/policy.hpp"
 #include "ml/ridge.hpp"
 #include "traffic/suite.hpp"
@@ -55,24 +57,37 @@ main(int argc, char **argv)
                   TextTable::num(m.avgLatencyCycles, 0), residency});
     };
 
+    metrics::Runner runner;
+    auto runPolicy =
+        [&](const std::string &name, const core::PearlConfig &cfg,
+            std::function<std::unique_ptr<core::PowerPolicy>()> make) {
+            metrics::RunSpec spec;
+            spec.configName = name;
+            spec.pair = pair;
+            spec.options = opts;
+            spec.fabric = metrics::RunSpec::Fabric::Pearl;
+            spec.pearl = cfg;
+            spec.dba = dba;
+            spec.makePolicy = std::move(make);
+            addRow(runner.run(spec));
+        };
+
     // Static states.
     for (auto s : {photonic::WlState::WL64, photonic::WlState::WL32,
                    photonic::WlState::WL16}) {
         core::PearlConfig cfg;
         cfg.initialState = s;
-        core::StaticPolicy policy(s);
-        addRow(metrics::runPearl(pair, cfg, dba, policy, opts,
-                                 std::string("static ") +
-                                     photonic::toString(s)));
+        runPolicy(std::string("static ") + photonic::toString(s), cfg,
+                  [s] { return std::make_unique<core::StaticPolicy>(s); });
     }
 
     // Reactive scaling across window sizes.
     for (std::uint64_t rw : {250ULL, 500ULL, 1000ULL, 2000ULL}) {
         core::PearlConfig cfg;
         cfg.reservationWindow = rw;
-        core::ReactivePolicy policy;
-        addRow(metrics::runPearl(pair, cfg, dba, policy, opts,
-                                 "reactive RW" + std::to_string(rw)));
+        runPolicy("reactive RW" + std::to_string(rw), cfg, [] {
+            return std::make_unique<core::ReactivePolicy>();
+        });
     }
 
     // ML scaling, if a trained model is available on disk.
@@ -81,9 +96,11 @@ main(int argc, char **argv)
     if (in && model.load(in)) {
         core::PearlConfig cfg;
         cfg.reservationWindow = 500;
-        ml::MlPowerPolicy policy(&model);
-        addRow(metrics::runPearl(pair, cfg, dba, policy, opts,
-                                 "ML RW500 (cached model)"));
+        // The model outlives the (synchronous) run, so capturing a
+        // pointer into the factory is safe here.
+        runPolicy("ML RW500 (cached model)", cfg, [&model] {
+            return std::make_unique<ml::MlPowerPolicy>(&model);
+        });
     } else {
         std::cout << "(no pearl_ml_rw500.model in the working directory;"
                      " run bench_fig6_throughput or the ml_workflow "

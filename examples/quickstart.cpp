@@ -1,18 +1,26 @@
 /**
  * @file
  * Quickstart: run one CPU+GPU benchmark pair on the PEARL photonic
- * crossbar and on the electrical CMESH baseline, and print throughput,
- * latency and energy per bit.
+ * crossbar and on the electrical CMESH baseline through the
+ * `metrics::Runner` facade, and print throughput, latency and energy
+ * per bit.
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * To capture a Chrome/Perfetto trace of the photonic run (wavelength
+ * transitions, DBA splits, fault summary, sweep phases):
+ *   PEARL_TRACE=1 PEARL_TRACE_PATH=quickstart_trace.json \
+ *       ./build/examples/quickstart
+ * then load quickstart_trace.json at https://ui.perfetto.dev.
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/table.hpp"
-#include "metrics/experiment.hpp"
+#include "metrics/runner.hpp"
 #include "traffic/suite.hpp"
 
 using namespace pearl;
@@ -30,15 +38,30 @@ main()
 
     // PEARL with dynamic bandwidth allocation at a constant 64
     // wavelengths (PEARL-Dyn).
-    core::PearlConfig pearl_cfg;
-    core::DbaConfig dba;
-    core::StaticPolicy wl64(photonic::WlState::WL64);
-    const auto pearl =
-        metrics::runPearl(pair, pearl_cfg, dba, wl64, opts, "PEARL-Dyn");
+    metrics::RunSpec pearl_spec;
+    pearl_spec.configName = "PEARL-Dyn";
+    pearl_spec.pair = pair;
+    pearl_spec.options = opts;
+    pearl_spec.fabric = metrics::RunSpec::Fabric::Pearl;
+    pearl_spec.makePolicy = [] {
+        return std::make_unique<core::StaticPolicy>(
+            photonic::WlState::WL64);
+    };
 
     // Electrical concentrated-mesh baseline.
-    electrical::CmeshConfig cmesh_cfg;
-    const auto cmesh = metrics::runCmesh(pair, cmesh_cfg, opts, "CMESH");
+    metrics::RunSpec cmesh_spec;
+    cmesh_spec.configName = "CMESH";
+    cmesh_spec.pair = pair;
+    cmesh_spec.options = opts;
+    cmesh_spec.fabric = metrics::RunSpec::Fabric::Cmesh;
+
+    // The Runner picks up PEARL_TRACE / PEARL_TRACE_PATH /
+    // PEARL_METRICS_DUMP from the environment.  Single runs write the
+    // trace path verbatim, so run the photonic config last — its trace
+    // (the interesting one) is what ends up on disk.
+    metrics::Runner runner;
+    const auto cmesh = runner.run(cmesh_spec);
+    const auto pearl = runner.run(pearl_spec);
 
     TextTable table({"config", "thru (flits/cyc)", "thru (Gbps)",
                      "avg latency (cyc)", "energy/bit (pJ)",
@@ -52,5 +75,10 @@ main()
     }
     std::cout << "Benchmark pair: " << pair.label() << "\n\n";
     table.print(std::cout);
+    if (runner.options().sweep.trace.enabled) {
+        std::cout << "\n[trace] wrote "
+                  << runner.options().sweep.trace.path
+                  << " (load it at https://ui.perfetto.dev)\n";
+    }
     return 0;
 }

@@ -20,7 +20,7 @@
 #include "common/table.hpp"
 #include "core/network.hpp"
 #include "electrical/cmesh.hpp"
-#include "metrics/sweep.hpp"
+#include "metrics/runner.hpp"
 #include "photonic/power_model.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -73,18 +73,18 @@ main(int argc, char **argv)
     // publishes them.  All points keep the same injector seed so the
     // curves stay comparable across loads, as in the serial original.
     const photonic::PowerModel power;
-    std::vector<metrics::SweepJob> jobs;
+    std::vector<metrics::RunSpec> jobs;
     std::vector<char> saturated(2 * loads.size(), 0);
     for (int kind = 0; kind < 2; ++kind) {
         for (std::size_t i = 0; i < loads.size(); ++i) {
             const double load = loads[i];
             char *sat_slot = &saturated[kind * loads.size() + i];
-            metrics::SweepJob job;
+            metrics::RunSpec job;
             job.configName = kind == 0 ? "PEARL" : "CMESH";
             job.label = TextTable::num(load, 2);
             job.explicitSeed = base_cfg.seed;
             job.custom = [kind, load, base_cfg, &power, sat_slot](
-                             const metrics::SweepJob &j,
+                             const metrics::RunSpec &j,
                              std::uint64_t seed) {
                 traffic::SyntheticConfig cfg = base_cfg;
                 cfg.flitsPerSourcePerCycle = load;
@@ -113,7 +113,7 @@ main(int argc, char **argv)
     }
 
     const metrics::SweepResult result =
-        metrics::SweepRunner().run(jobs);
+        metrics::Runner().sweep(jobs);
     if (const metrics::SweepJobResult *bad = result.firstError())
         fatal("sweep job failed: ", bad->error);
 

@@ -10,6 +10,7 @@
 #ifndef PEARL_COMMON_ENV_HPP
 #define PEARL_COMMON_ENV_HPP
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstdint>
@@ -60,6 +61,107 @@ envU64(const char *name, std::uint64_t fallback)
     if (!parseU64(v, out)) {
         warn("ignoring unparseable ", name, "=\"", v, "\"; using ",
              fallback);
+        return fallback;
+    }
+    return out;
+}
+
+/**
+ * Parse `text` as a double.  Leading whitespace is accepted (strtod
+ * semantics), trailing garbage, empty strings, inf/nan overflow and
+ * underflow-to-garbage all count as parse failures.
+ * @return true and set `out` on success.
+ */
+inline bool
+parseDouble(const std::string &text, double &out)
+{
+    const char *begin = text.c_str();
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin || errno == ERANGE)
+        return false;
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    if (*end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/**
+ * Parse `text` as a boolean.  Accepts 0/1, true/false, yes/no, on/off
+ * (case-insensitive, surrounding spaces/tabs ignored); anything else is
+ * a parse failure.  @return true and set `out` on success.
+ */
+inline bool
+parseBool(const std::string &text, bool &out)
+{
+    std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return false;
+    std::size_t last = text.find_last_not_of(" \t");
+    std::string word = text.substr(first, last - first + 1);
+    for (char &c : word)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (word == "1" || word == "true" || word == "yes" || word == "on") {
+        out = true;
+        return true;
+    }
+    if (word == "0" || word == "false" || word == "no" || word == "off") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Read a double environment variable.  An unset variable yields
+ * `fallback`; an unparseable value warns and yields `fallback` — same
+ * contract as envU64.
+ */
+inline double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    double out = 0.0;
+    if (!parseDouble(v, out)) {
+        warn("ignoring unparseable ", name, "=\"", v, "\"; using ",
+             fallback);
+        return fallback;
+    }
+    return out;
+}
+
+/**
+ * Read a string environment variable.  An unset variable yields
+ * `fallback`; any set value (including "") is returned verbatim — there
+ * is no unparseable case for strings, so no warn path.
+ */
+inline std::string
+envStr(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::string(v) : fallback;
+}
+
+/**
+ * Read a boolean environment variable (PEARL_TRACE and friends).  An
+ * unset variable yields `fallback`; an unparseable value warns and
+ * yields `fallback` — same contract as envU64.
+ */
+inline bool
+envBool(const char *name, bool fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    bool out = false;
+    if (!parseBool(v, out)) {
+        warn("ignoring unparseable ", name, "=\"", v, "\"; using ",
+             fallback ? "true" : "false");
         return fallback;
     }
     return out;

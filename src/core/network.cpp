@@ -110,6 +110,8 @@ PearlNetwork::step()
                 // latency, then the bounded backoff applies.
                 stats_.noteCorrupted(f.pkt);
                 ++dst.telemetry().corruptedArrivals;
+                if (tracer_)
+                    traceFaultEvent("corrupt", f.pkt.dst, f.pkt);
                 if (it != src_outstanding.end()) {
                     Outstanding entry = std::move(it->second);
                     src_outstanding.erase(it);
@@ -155,6 +157,9 @@ PearlNetwork::step()
                     // sail past an untuned detector.  Only the ACK
                     // timeout recovers this loss.
                     stats_.noteReservationDrop();
+                    if (tracer_)
+                        traceFaultEvent("res_drop", static_cast<int>(r),
+                                        pkt);
                     continue;
                 }
             }
@@ -194,6 +199,23 @@ PearlNetwork::step()
                 stats_.noteThermalUnlocked(static_cast<int>(r));
                 ++router->telemetry().outOfLockCycles;
             }
+            if (tracer_) {
+                // Trace lock *transitions*, not one event per
+                // unlocked cycle.
+                if (tracedLock_.size() != routers_.size())
+                    tracedLock_.assign(routers_.size(), 1);
+                const char locked_now = bank.locked() ? 1 : 0;
+                if (tracedLock_[r] != locked_now) {
+                    tracedLock_[r] = locked_now;
+                    obs::TraceEvent e;
+                    e.cat = obs::Category::Fault;
+                    e.name = locked_now ? "thermal_relock"
+                                        : "thermal_unlock";
+                    e.ts = cycle_;
+                    e.tid = static_cast<int>(r) + 1;
+                    tracer_->record(std::move(e));
+                }
+            }
         } else {
             trimmingEnergyJ_ +=
                 routerPower_.trimmingPowerW(
@@ -219,11 +241,52 @@ PearlNetwork::step()
         obs.windowEnd = cycle_;
         obs.wlCeiling = faults_.wlCap(r);
 
+        DecisionTrace decision;
+        if (tracer_)
+            obs.decision = &decision;
+
         // Clamp the policy's choice to what the surviving laser banks
         // can sustain: policies degrade instead of commanding (and
         // paying stabilisation for) unavailable states.
         const photonic::WlState next = photonic::clampToCap(
             policy_->nextState(obs), obs.wlCeiling);
+
+        if (tracer_) {
+            const sim::RouterTelemetry &t = router.telemetry();
+            obs::TraceEvent wl;
+            wl.cat = obs::Category::Wavelength;
+            wl.name = photonic::toString(next);
+            wl.ts = cycle_;
+            wl.tid = r + 1;
+            wl.arg("state_from",
+                   photonic::indexOf(router.laser().state()))
+                .arg("state_chosen", photonic::indexOf(next))
+                .arg("state_cap", photonic::indexOf(obs.wlCeiling))
+                .arg("beta_total", obs.betaTotalMean)
+                .arg("packets_injected",
+                     static_cast<double>(t.packetsInjected));
+            if (decision.hasPrediction) {
+                wl.arg("predicted_packets", decision.predictedPackets);
+                for (std::size_t i = 0; i < decision.features.size();
+                     ++i)
+                    wl.arg("f" + std::to_string(i),
+                           decision.features[i]);
+            }
+            tracer_->record(std::move(wl));
+
+            obs::TraceEvent dba;
+            dba.cat = obs::Category::Dba;
+            dba.name = "dba_window";
+            dba.ts = cycle_;
+            dba.tid = r + 1;
+            const double dba_cycles =
+                t.dbaCycles ? static_cast<double>(t.dbaCycles) : 1.0;
+            dba.arg("cpu_share_mean", t.dbaCpuShareSum / dba_cycles)
+                .arg("gpu_share_mean", t.dbaGpuShareSum / dba_cycles)
+                .arg("dba_cycles", static_cast<double>(t.dbaCycles))
+                .arg("beta_total", obs.betaTotalMean);
+            tracer_->record(std::move(dba));
+        }
 
         if (collector_) {
             WindowRecord rec;
@@ -278,6 +341,8 @@ PearlNetwork::armRetry(Outstanding &&entry, Cycle delay)
         ++routers_[static_cast<std::size_t>(entry.pkt.src)]
               ->telemetry()
               .packetsDropped;
+        if (tracer_)
+            traceFaultEvent("drop", entry.pkt.src, entry.pkt);
         return;
     }
     // Bounded exponential backoff keyed on the attempt that failed.
@@ -290,9 +355,47 @@ PearlNetwork::armRetry(Outstanding &&entry, Cycle delay)
 }
 
 void
+PearlNetwork::traceFaultEvent(const char *name, int router,
+                              const Packet &pkt)
+{
+    obs::TraceEvent e;
+    e.cat = obs::Category::Fault;
+    e.name = name;
+    e.ts = cycle_;
+    e.tid = router + 1;
+    e.arg("src", pkt.src)
+        .arg("dst", pkt.dst)
+        .arg("seq", static_cast<double>(pkt.seq))
+        .arg("attempt", pkt.attempt)
+        .arg("size_bits", pkt.sizeBits);
+    tracer_->record(std::move(e));
+}
+
+void
 PearlNetwork::stepFaultPlane()
 {
+    const std::uint64_t fails_before = faults_.bankFailures();
+    const std::uint64_t repairs_before = faults_.bankRepairs();
     faults_.step(cycle_);
+    if (tracer_) {
+        // Bank fail/repair counts only move inside step(); surface the
+        // deltas as instant events on the run track.
+        for (const auto &[name, delta] :
+             {std::pair<const char *, std::uint64_t>{
+                  "bank_failure", faults_.bankFailures() - fails_before},
+              std::pair<const char *, std::uint64_t>{
+                  "bank_repair",
+                  faults_.bankRepairs() - repairs_before}}) {
+            if (!delta)
+                continue;
+            obs::TraceEvent e;
+            e.cat = obs::Category::Fault;
+            e.name = name;
+            e.ts = cycle_;
+            e.arg("count", static_cast<double>(delta));
+            tracer_->record(std::move(e));
+        }
+    }
 
     // ACK timeouts: a fired event only matters when the exact
     // transmission attempt it guards is still un-ACKed (reservation
@@ -309,6 +412,8 @@ PearlNetwork::stepFaultPlane()
         stats_.noteAckTimeout();
         Outstanding entry = std::move(it->second);
         src_outstanding.erase(it);
+        if (tracer_)
+            traceFaultEvent("ack_timeout", evt.src, entry.pkt);
         armRetry(std::move(entry), 0);
     }
 
@@ -327,6 +432,8 @@ PearlNetwork::drainRetxQueue()
         auto &src = *routers_[static_cast<std::size_t>(p.pkt.src)];
         if (src.reinject(p.pkt, cycle_)) {
             stats_.noteRetransmit();
+            if (tracer_)
+                traceFaultEvent("retx", p.pkt.src, p.pkt);
         } else {
             p.due = cycle_ + 1;
             blocked.push_back(std::move(p));

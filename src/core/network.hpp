@@ -24,6 +24,7 @@
 #include "core/arch_config.hpp"
 #include "core/power_policy.hpp"
 #include "core/router.hpp"
+#include "obs/trace.hpp"
 #include "photonic/faults.hpp"
 #include "photonic/power_model.hpp"
 #include "photonic/thermal.hpp"
@@ -69,6 +70,14 @@ class PearlNetwork : public sim::Network
     {
         collector_ = std::move(collector);
     }
+
+    /**
+     * Attach an event tracer (observability plane; not owned, may be
+     * null).  With no tracer installed — the default — every hook is a
+     * single null-pointer test and the simulation is bit-identical to
+     * an uninstrumented build; tracing never draws from the RNG.
+     */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
     // sim::Network --------------------------------------------------------
     bool inject(const sim::Packet &pkt) override;
@@ -198,11 +207,19 @@ class PearlNetwork : public sim::Network
     void stepFaultPlane();
     void drainRetxQueue();
 
+    /** Emit an instant fault event (tracer_ checked by the caller). */
+    void traceFaultEvent(const char *name, int router,
+                         const sim::Packet &pkt);
+
     PearlConfig cfg_;
     photonic::PowerModel routerPower_; //!< per-router scaled model
     photonic::PowerModel l3Power_;     //!< L3 router (waveguide group)
     PowerPolicy *policy_;
     WindowCollector collector_;
+    obs::Tracer *tracer_ = nullptr;    //!< observability plane (optional)
+    /** Per-router thermal lock state last traced (1 = locked); used to
+     *  emit lock-transition events instead of one event per cycle. */
+    std::vector<char> tracedLock_;
     std::vector<std::unique_ptr<PearlRouter>> routers_;
     std::priority_queue<InFlight, std::vector<InFlight>,
                         std::greater<InFlight>>

@@ -17,6 +17,7 @@
 #define PEARL_CORE_POWER_POLICY_HPP
 
 #include <array>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "photonic/wl_state.hpp"
@@ -25,6 +26,22 @@
 
 namespace pearl {
 namespace core {
+
+/**
+ * Optional per-decision introspection record for the observability
+ * plane.  When tracing is on, the network hangs one of these off the
+ * WindowObservation; policies that compute a demand prediction (the ML
+ * policy) fill it in so the trace can show *why* a state was picked.
+ * A null pointer (the default) costs policies a single branch.
+ */
+struct DecisionTrace
+{
+    bool hasPrediction = false;
+    /** Predicted packets injected next window (ML policy). */
+    double predictedPackets = 0.0;
+    /** The feature vector the prediction was made from (Table III). */
+    std::vector<double> features;
+};
 
 /** Everything a policy may look at when picking the next state. */
 struct WindowObservation
@@ -46,6 +63,9 @@ struct WindowObservation
      * a window commanding unavailable states.
      */
     photonic::WlState wlCeiling = photonic::WlState::WL64;
+    /** Non-null only while tracing: policies record their prediction
+     *  here for the wavelength trace events. */
+    DecisionTrace *decision = nullptr;
 };
 
 /** Per-router wavelength-state selection policy. */

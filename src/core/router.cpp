@@ -157,10 +157,18 @@ PearlRouter::transmitCycle(Cycle now, std::vector<TxCompletion> &done)
             }
         }
         bits = transmitClass(target, 1.0, capacity, done);
+        if (target == CoreType::CPU)
+            telemetry_.dbaCpuShareSum += 1.0;
+        else
+            telemetry_.dbaGpuShareSum += 1.0;
+        ++telemetry_.dbaCycles;
     } else {
         const Allocation alloc =
             dba_.allocate(inject_.occupancy(CoreType::CPU),
                           inject_.occupancy(CoreType::GPU));
+        telemetry_.dbaCpuShareSum += alloc.cpuShare;
+        telemetry_.dbaGpuShareSum += alloc.gpuShare;
+        ++telemetry_.dbaCycles;
         bits += transmitClass(CoreType::CPU, alloc.cpuShare, capacity,
                               done);
         bits += transmitClass(CoreType::GPU, alloc.gpuShare, capacity,

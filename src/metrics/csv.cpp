@@ -1,0 +1,96 @@
+#include "metrics/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace pearl {
+namespace metrics {
+
+std::vector<MetricField>
+metricFields(const RunMetrics &m)
+{
+    std::vector<MetricField> f;
+    auto addU = [&f](const char *n, std::uint64_t v) {
+        f.push_back({n, true, v, 0.0});
+    };
+    auto addD = [&f](const std::string &n, double v) {
+        f.push_back({n, false, 0, v});
+    };
+    addU("cycles", m.cycles);
+    addU("deliveredPackets", m.deliveredPackets);
+    addU("deliveredFlits", m.deliveredFlits);
+    addU("deliveredBits", m.deliveredBits);
+    addU("cpuPackets", m.cpuPackets);
+    addU("gpuPackets", m.gpuPackets);
+    addD("throughputFlitsPerCycle", m.throughputFlitsPerCycle);
+    addD("throughputGbps", m.throughputGbps);
+    addD("avgLatencyCycles", m.avgLatencyCycles);
+    addD("cpuLatencyCycles", m.cpuLatencyCycles);
+    addD("gpuLatencyCycles", m.gpuLatencyCycles);
+    addD("totalEnergyJ", m.totalEnergyJ);
+    addD("energyPerBitPj", m.energyPerBitPj);
+    addD("laserPowerW", m.laserPowerW);
+    addU("corruptedPackets", m.corruptedPackets);
+    addU("reservationDrops", m.reservationDrops);
+    addU("retransmittedPackets", m.retransmittedPackets);
+    addU("ackTimeouts", m.ackTimeouts);
+    addU("droppedPackets", m.droppedPackets);
+    addU("thermalUnlockedCycles", m.thermalUnlockedCycles);
+    for (std::size_t s = 0; s < m.residency.size(); ++s)
+        addD("residency" + std::to_string(s), m.residency[s]);
+    return f;
+}
+
+std::string
+formatMetricValue(const MetricField &f)
+{
+    if (f.isInteger)
+        return std::to_string(f.u);
+    std::ostringstream oss;
+    oss << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << f.d;
+    return oss.str();
+}
+
+std::string
+csvHeader(const std::vector<std::string> &key_columns)
+{
+    std::string line;
+    for (const std::string &key : key_columns) {
+        if (!line.empty())
+            line += ",";
+        line += key;
+    }
+    for (const MetricField &f : metricFields(RunMetrics{}))
+        line += "," + f.name;
+    return line;
+}
+
+std::string
+csvRow(const std::vector<std::string> &key_cells, const RunMetrics &m)
+{
+    std::string line;
+    for (const std::string &cell : key_cells) {
+        if (!line.empty())
+            line += ",";
+        line += cell;
+    }
+    for (const MetricField &f : metricFields(m))
+        line += "," + formatMetricValue(f);
+    return line;
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+} // namespace metrics
+} // namespace pearl

@@ -1,5 +1,7 @@
 #include "metrics/experiment.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 #include "core/network.hpp"
 #include "photonic/power_model.hpp"
@@ -10,6 +12,105 @@ namespace metrics {
 using sim::Cycle;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Deterministic run-metadata event ("sweep" category, run track). */
+void
+traceRunStart(const RunOptions &opts, const std::string &config_name,
+              const std::string &pair_label)
+{
+    obs::TraceEvent e;
+    e.cat = obs::Category::Sweep;
+    e.name = "run";
+    e.ts = 0;
+    e.sarg("config", config_name).sarg("pair", pair_label);
+    e.arg("seed", static_cast<double>(opts.seed))
+        .arg("warmup_cycles", static_cast<double>(opts.warmupCycles))
+        .arg("measure_cycles", static_cast<double>(opts.measureCycles));
+    opts.tracer->record(std::move(e));
+}
+
+/**
+ * Phase-timing events on the run track (tid 0).  Timeline positions
+ * are cycle-based and deterministic; only the "seconds" arguments carry
+ * (nondeterministic) wall time — tests filter the "sweep" category
+ * before byte-comparing traces.
+ */
+void
+tracePhases(const RunOptions &opts, const PhaseTimings &t)
+{
+    const std::uint64_t warmup = opts.warmupCycles;
+    const std::uint64_t measure = opts.measureCycles;
+    obs::TraceEvent build;
+    build.cat = obs::Category::Sweep;
+    build.name = "phase:build";
+    build.ts = 0;
+    build.arg("seconds", t.buildSeconds);
+    opts.tracer->record(std::move(build));
+
+    obs::TraceEvent warm;
+    warm.cat = obs::Category::Sweep;
+    warm.name = "phase:warmup";
+    warm.phase = 'X';
+    warm.ts = 0;
+    warm.dur = warmup;
+    warm.arg("seconds", t.warmupSeconds);
+    opts.tracer->record(std::move(warm));
+
+    obs::TraceEvent run;
+    run.cat = obs::Category::Sweep;
+    run.name = "phase:run";
+    run.phase = 'X';
+    run.ts = warmup;
+    run.dur = measure;
+    run.arg("seconds", t.runSeconds);
+    opts.tracer->record(std::move(run));
+
+    obs::TraceEvent collect;
+    collect.cat = obs::Category::Sweep;
+    collect.name = "phase:collect";
+    collect.ts = warmup + measure;
+    collect.arg("seconds", t.collectSeconds);
+    opts.tracer->record(std::move(collect));
+}
+
+/**
+ * End-of-run fault/resilience roll-up ("fault" category).  Emitted on
+ * every traced run — healthy runs report zeros — so a trace always
+ * carries all four event categories.
+ */
+void
+traceFaultSummary(const RunOptions &opts, const sim::NetworkStats &stats,
+                  std::uint64_t bank_failures,
+                  std::uint64_t bank_repairs)
+{
+    obs::TraceEvent e;
+    e.cat = obs::Category::Fault;
+    e.name = "fault_summary";
+    e.ts = static_cast<std::uint64_t>(opts.warmupCycles) +
+           static_cast<std::uint64_t>(opts.measureCycles);
+    e.arg("corrupted_packets",
+          static_cast<double>(stats.corruptedPackets()))
+        .arg("reservation_drops",
+             static_cast<double>(stats.reservationDrops()))
+        .arg("retransmitted_packets",
+             static_cast<double>(stats.retransmittedPackets()))
+        .arg("ack_timeouts", static_cast<double>(stats.ackTimeouts()))
+        .arg("dropped_packets",
+             static_cast<double>(stats.droppedPackets()))
+        .arg("thermal_unlocked_cycles",
+             static_cast<double>(stats.thermalUnlockedCycles()))
+        .arg("bank_failures", static_cast<double>(bank_failures))
+        .arg("bank_repairs", static_cast<double>(bank_repairs));
+    opts.tracer->record(std::move(e));
+}
 
 /** Counter snapshot for warmup exclusion. */
 struct Snapshot
@@ -94,21 +195,33 @@ runPearl(const traffic::BenchmarkPair &pair,
          core::PowerPolicy &policy, const RunOptions &opts,
          const std::string &config_name)
 {
+    PhaseTimings timing;
+    const Clock::time_point t_build = Clock::now();
     const photonic::PowerModel power;
     core::PearlNetwork net(net_cfg, power, dba, &policy);
+    if (opts.tracer) {
+        net.setTracer(opts.tracer);
+        traceRunStart(opts, config_name, pair.label());
+    }
 
     core::SystemConfig sys = opts.system;
     sys.seed = opts.seed;
     core::HeteroSystem system(
         net, pair, sys,
         [&net](int node) { return &net.telemetryOf(node); });
+    timing.buildSeconds = secondsSince(t_build);
 
+    const Clock::time_point t_warmup = Clock::now();
     system.run(opts.warmupCycles);
     const Snapshot warm =
         Snapshot::of(net.stats(), net.totalEnergyJ(), net.laserEnergyJ());
+    timing.warmupSeconds = secondsSince(t_warmup);
 
+    const Clock::time_point t_run = Clock::now();
     system.run(opts.measureCycles);
+    timing.runSeconds = secondsSince(t_run);
 
+    const Clock::time_point t_collect = Clock::now();
     RunMetrics m;
     m.configName = config_name;
     m.pairLabel = pair.label();
@@ -121,6 +234,29 @@ runPearl(const traffic::BenchmarkPair &pair,
         m.residency[static_cast<std::size_t>(s)] =
             net.residency(photonic::stateFromIndex(s));
     }
+    if (opts.registry) {
+        net.stats().publishTo(*opts.registry);
+        net.faults().publishTo(*opts.registry);
+        // Per-router telemetry covers the final (possibly partial)
+        // window — the window counters reset at every boundary.
+        for (int r = 0; r < net.numNodes(); ++r)
+            net.telemetryOf(r).publishTo(*opts.registry,
+                                         "router" + std::to_string(r));
+        opts.registry->gauge("power.laser_w") = m.laserPowerW;
+        opts.registry->gauge("power.energy_per_bit_pj") =
+            m.energyPerBitPj;
+    }
+    if (opts.tracer) {
+        traceFaultSummary(opts, net.stats(), net.faults().bankFailures(),
+                          net.faults().bankRepairs());
+        timing.collectSeconds = secondsSince(t_collect);
+        tracePhases(opts, timing);
+        net.setTracer(nullptr); // the network outlives this scope's use
+    } else {
+        timing.collectSeconds = secondsSince(t_collect);
+    }
+    if (opts.phases)
+        *opts.phases = timing;
     return m;
 }
 
@@ -129,24 +265,47 @@ runCmesh(const traffic::BenchmarkPair &pair,
          const electrical::CmeshConfig &net_cfg, const RunOptions &opts,
          const std::string &config_name)
 {
+    PhaseTimings timing;
+    const Clock::time_point t_build = Clock::now();
     electrical::CmeshNetwork net(net_cfg);
 
     core::SystemConfig sys = opts.system;
     sys.seed = opts.seed;
     core::HeteroSystem system(net, pair, sys);
+    if (opts.tracer)
+        traceRunStart(opts, config_name, pair.label());
+    timing.buildSeconds = secondsSince(t_build);
 
     const double dt = sys.arch.networkCycleSeconds();
+    const Clock::time_point t_warmup = Clock::now();
     system.run(opts.warmupCycles);
     const Snapshot warm =
         Snapshot::of(net.stats(), net.totalEnergyJ(dt), 0.0);
+    timing.warmupSeconds = secondsSince(t_warmup);
 
+    const Clock::time_point t_run = Clock::now();
     system.run(opts.measureCycles);
+    timing.runSeconds = secondsSince(t_run);
 
+    const Clock::time_point t_collect = Clock::now();
     RunMetrics m;
     m.configName = config_name;
     m.pairLabel = pair.label();
     fillCommon(m, net.stats(), warm, opts.measureCycles, dt,
                net.totalEnergyJ(dt));
+    if (opts.registry)
+        net.stats().publishTo(*opts.registry);
+    if (opts.tracer) {
+        // The electrical mesh has no fault plane; the zero summary
+        // still stamps the "fault" category into the trace.
+        traceFaultSummary(opts, net.stats(), 0, 0);
+        timing.collectSeconds = secondsSince(t_collect);
+        tracePhases(opts, timing);
+    } else {
+        timing.collectSeconds = secondsSince(t_collect);
+    }
+    if (opts.phases)
+        *opts.phases = timing;
     return m;
 }
 

@@ -17,11 +17,29 @@
 #include "core/power_policy.hpp"
 #include "core/system.hpp"
 #include "electrical/cmesh.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "photonic/wl_state.hpp"
 #include "traffic/suite.hpp"
 
 namespace pearl {
 namespace metrics {
+
+/** Wall-clock split of one run, by phase (observability plane). */
+struct PhaseTimings
+{
+    double buildSeconds = 0.0;   //!< network/system construction
+    double warmupSeconds = 0.0;  //!< warmup cycles
+    double runSeconds = 0.0;     //!< measured cycles
+    double collectSeconds = 0.0; //!< metric extraction / publishing
+
+    double
+    totalSeconds() const
+    {
+        return buildSeconds + warmupSeconds + runSeconds +
+               collectSeconds;
+    }
+};
 
 /** Everything a figure needs from one run. */
 struct RunMetrics
@@ -66,6 +84,12 @@ struct RunOptions
     sim::Cycle measureCycles = 30000;
     std::uint64_t seed = 1;
     core::SystemConfig system;
+
+    // Observability-plane sinks (all optional, non-owning; null — the
+    // default — keeps the run bit-identical to an uninstrumented one).
+    obs::Tracer *tracer = nullptr;        //!< per-window event trace
+    obs::MetricsRegistry *registry = nullptr; //!< end-of-run metrics
+    PhaseTimings *phases = nullptr;       //!< wall-clock phase split
 };
 
 /**

@@ -22,9 +22,10 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Run one job's simulation (descriptor or custom path). */
+} // namespace
+
 RunMetrics
-executeJob(const SweepJob &job, std::uint64_t seed)
+executeSpec(const RunSpec &job, std::uint64_t seed)
 {
     if (job.custom)
         return job.custom(job, seed);
@@ -33,7 +34,7 @@ executeJob(const SweepJob &job, std::uint64_t seed)
     opts.seed = seed;
     RunMetrics m;
     switch (job.fabric) {
-    case SweepJob::Fabric::Pearl: {
+    case RunSpec::Fabric::Pearl: {
         if (!job.makePolicy) {
             throw std::runtime_error("sweep job '" + job.configName +
                                      "' has no policy factory");
@@ -47,7 +48,7 @@ executeJob(const SweepJob &job, std::uint64_t seed)
                      job.configName);
         break;
     }
-    case SweepJob::Fabric::Cmesh:
+    case RunSpec::Fabric::Cmesh:
         m = runCmesh(job.pair, job.cmesh, opts, job.configName);
         break;
     }
@@ -55,8 +56,6 @@ executeJob(const SweepJob &job, std::uint64_t seed)
         m.pairLabel = job.label;
     return m;
 }
-
-} // namespace
 
 std::vector<RunMetrics>
 SweepResult::metricsOrThrow() const
@@ -91,7 +90,7 @@ SweepRunner::resolveThreads(unsigned requested)
 }
 
 SweepResult
-SweepRunner::run(const std::vector<SweepJob> &jobs) const
+SweepRunner::run(const std::vector<RunSpec> &jobs) const
 {
     SweepResult result;
     result.jobs.resize(jobs.size());
@@ -116,7 +115,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
-            const SweepJob &job = jobs[i];
+            const RunSpec &job = jobs[i];
             SweepJobResult &slot = result.jobs[i];
             slot.metrics.configName = job.configName;
             slot.metrics.pairLabel =
@@ -133,9 +132,28 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 continue;
             }
 
+            // Observability: each descriptor-path job gets a private
+            // tracer writing its own file, so trace content does not
+            // depend on the thread count and needs no locking.  The
+            // phase split lands in the result slot either way.
+            RunSpec traced;
+            const RunSpec *to_run = &job;
+            if (!job.custom) {
+                traced = job;
+                traced.options.phases = &slot.phases;
+                to_run = &traced;
+            }
+            std::unique_ptr<obs::Tracer> tracer;
+            if (opts_.trace.enabled && !job.custom) {
+                tracer = obs::makeTracer(obs::jobTracePath(
+                    opts_.trace, i, slot.metrics.configName,
+                    slot.metrics.pairLabel));
+                traced.options.tracer = tracer.get();
+            }
+
             const Clock::time_point start = Clock::now();
             try {
-                slot.metrics = executeJob(job, slot.seed);
+                slot.metrics = executeSpec(*to_run, slot.seed);
                 slot.ok = true;
             } catch (const std::exception &e) {
                 slot.error = e.what();
@@ -163,6 +181,13 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 
     for (const SweepJobResult &j : result.jobs) {
         result.summary.aggregateJobSeconds += j.wallSeconds;
+        result.summary.phaseSeconds.buildSeconds +=
+            j.phases.buildSeconds;
+        result.summary.phaseSeconds.warmupSeconds +=
+            j.phases.warmupSeconds;
+        result.summary.phaseSeconds.runSeconds += j.phases.runSeconds;
+        result.summary.phaseSeconds.collectSeconds +=
+            j.phases.collectSeconds;
         if (!j.ok) {
             if (j.skipped)
                 ++result.summary.skipped;

@@ -32,12 +32,17 @@
 
 #include "electrical/cmesh.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/trace.hpp"
 
 namespace pearl {
 namespace metrics {
 
-/** One cell of a sweep grid. */
-struct SweepJob
+/**
+ * One runnable simulation: config + pair + seed + cycle counts (inside
+ * `options`) + observability sinks.  This is the single run descriptor
+ * of the `metrics::Runner` facade and one cell of a sweep grid.
+ */
+struct RunSpec
 {
     /** Which fabric the descriptor fields drive (ignored if `custom`
      *  is set). */
@@ -60,11 +65,13 @@ struct SweepJob
 
     /**
      * Custom runner: replaces the descriptor path entirely.  Receives
-     * the job and its effective seed and returns the metrics.  Throwing
+     * the spec and its effective seed and returns the metrics.  Throwing
      * marks the job failed (and cancels the sweep when
-     * `SweepOptions::cancelOnError` is set).
+     * `SweepOptions::cancelOnError` is set).  Custom runs manage their
+     * own observability sinks; the sweep engine only auto-attaches
+     * tracers on the descriptor path.
      */
-    std::function<RunMetrics(const SweepJob &, std::uint64_t seed)> custom;
+    std::function<RunMetrics(const RunSpec &, std::uint64_t seed)> custom;
 
     /**
      * Fixed seed for this job instead of the derived (baseSeed, index)
@@ -84,6 +91,13 @@ struct SweepOptions
     std::uint64_t baseSeed = 100;
     /** Skip jobs that have not started once any job fails. */
     bool cancelOnError = true;
+    /**
+     * Observability plane: when `trace.enabled`, every descriptor-path
+     * job gets its own Tracer writing to `jobTracePath(trace, i, ...)`
+     * — one file per job, so trace bytes are independent of the thread
+     * count.  Disabled (the default) costs nothing.
+     */
+    obs::TraceOptions trace;
 };
 
 /** Outcome of one job. */
@@ -92,6 +106,7 @@ struct SweepJobResult
     RunMetrics metrics;
     std::uint64_t seed = 0;     //!< effective seed the job ran with
     double wallSeconds = 0.0;
+    PhaseTimings phases;        //!< build/warmup/run/collect split
     bool ok = false;
     bool skipped = false;       //!< cancelled before it started
     std::string error;          //!< failure reason when !ok
@@ -106,6 +121,8 @@ struct SweepSummary
     unsigned threads = 1;
     double wallSeconds = 0.0;          //!< whole-sweep wall time
     double aggregateJobSeconds = 0.0;  //!< sum of per-job wall times
+    /** Sum of the per-job phase splits (observability plane). */
+    PhaseTimings phaseSeconds;
 
     /** Aggregate-to-wall ratio: the parallel speedup actually achieved. */
     double
@@ -147,6 +164,14 @@ struct SweepResult
     std::vector<RunMetrics> metricsOrThrow() const;
 };
 
+/**
+ * Execute one spec's simulation (descriptor or custom path) with the
+ * given effective seed.  The descriptor path honours the spec's
+ * RunOptions sinks (tracer/registry/phases); this is the single run
+ * engine beneath both SweepRunner and the metrics::Runner facade.
+ */
+RunMetrics executeSpec(const RunSpec &spec, std::uint64_t seed);
+
 /** Thread-pool executor for sweep grids. */
 class SweepRunner
 {
@@ -154,7 +179,7 @@ class SweepRunner
     explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
 
     /** Run all jobs; results come back in submission order. */
-    SweepResult run(const std::vector<SweepJob> &jobs) const;
+    SweepResult run(const std::vector<RunSpec> &jobs) const;
 
     /**
      * Effective thread count: PEARL_SWEEP_THREADS if set and valid,

@@ -135,6 +135,11 @@ class OnlineMlPolicy : public core::PowerPolicy
         }
 
         const double predicted = std::max(0.0, model_->predict(x));
+        if (obs.decision) {
+            obs.decision->hasPrediction = true;
+            obs.decision->predictedPackets = predicted;
+            obs.decision->features = x;
+        }
         slot = std::move(x);
         return MlPowerPolicy::stateForDemand(predicted, obs.windowCycles,
                                              cfg_);

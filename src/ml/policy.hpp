@@ -59,6 +59,11 @@ class MlPowerPolicy : public core::PowerPolicy
         const std::vector<double> x = FeatureExtractor::extract(
             *obs.telemetry, obs.windowCycles, obs.isL3Router);
         const double predicted = std::max(0.0, model_->predict(x));
+        if (obs.decision) {
+            obs.decision->hasPrediction = true;
+            obs.decision->predictedPackets = predicted;
+            obs.decision->features = x;
+        }
         return stateForDemand(predicted, obs.windowCycles, cfg_);
     }
 

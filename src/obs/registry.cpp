@@ -1,0 +1,27 @@
+#include "obs/registry.hpp"
+
+#include <iomanip>
+#include <limits>
+
+namespace pearl {
+namespace obs {
+
+void
+MetricsRegistry::write(std::ostream &out) const
+{
+    const auto flags = out.flags();
+    const auto precision = out.precision();
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto &[name, value] : counters_)
+        out << "counter," << name << "," << value << "\n";
+    for (const auto &[name, value] : gauges_)
+        out << "gauge," << name << "," << value << "\n";
+    for (const auto &[name, h] : histograms_)
+        out << "histogram," << name << "," << h.count << "," << h.mean
+            << "," << h.p50 << "," << h.p95 << "," << h.p99 << "\n";
+    out.flags(flags);
+    out.precision(precision);
+}
+
+} // namespace obs
+} // namespace pearl

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Named-metric registry for the observability plane.
+ *
+ * Subsystems publish their end-of-run state into a MetricsRegistry
+ * under dotted names (naming convention: "<subsystem>.<metric>", e.g.
+ * "net.delivered_packets", "fault.bank_failures",
+ * "router3.packets_injected") instead of each component growing ad-hoc
+ * result fields.  Three metric kinds:
+ *
+ *   counter    monotonically accumulated uint64 (packets, drops, ...)
+ *   gauge      point-in-time double (power draw, residency share, ...)
+ *   histogram  distribution summary {count, mean, p50, p95, p99}
+ *              fed from the existing ReservoirSampler latency pools.
+ *
+ * The registry is a plain single-threaded value type: each sweep job
+ * publishes into its own instance.  Iteration order is the sorted name
+ * order (std::map), so dumps are deterministic.
+ */
+
+#ifndef PEARL_OBS_REGISTRY_HPP
+#define PEARL_OBS_REGISTRY_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace pearl {
+namespace obs {
+
+/** Distribution summary published from a ReservoirSampler. */
+struct HistogramSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+class MetricsRegistry
+{
+  public:
+    /** Get-or-create a counter; increment via the returned reference. */
+    std::uint64_t &counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Get-or-create a gauge. */
+    double &gauge(const std::string &name) { return gauges_[name]; }
+
+    /** Get-or-create a histogram summary slot. */
+    HistogramSummary &histogram(const std::string &name)
+    {
+        return histograms_[name];
+    }
+
+    /** Read-only views; name-sorted, so iteration is deterministic. */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, HistogramSummary> &histograms() const
+    {
+        return histograms_;
+    }
+
+    bool empty() const
+    {
+        return counters_.empty() && gauges_.empty() &&
+               histograms_.empty();
+    }
+
+    void clear()
+    {
+        counters_.clear();
+        gauges_.clear();
+        histograms_.clear();
+    }
+
+    /** Dump every metric as "kind,name,value..." CSV-ish lines. */
+    void write(std::ostream &out) const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, HistogramSummary> histograms_;
+};
+
+} // namespace obs
+} // namespace pearl
+
+#endif // PEARL_OBS_REGISTRY_HPP

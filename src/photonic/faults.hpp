@@ -40,10 +40,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
 #include "photonic/wl_state.hpp"
 
 namespace pearl {
@@ -224,6 +226,24 @@ class FaultInjector
 
     std::uint64_t bankFailures() const { return bankFailures_; }
     std::uint64_t bankRepairs() const { return bankRepairs_; }
+
+    /** Publish the fault plane's totals into the observability
+     *  registry under `prefix` (default "fault"). */
+    void
+    publishTo(obs::MetricsRegistry &reg,
+              const std::string &prefix = "fault") const
+    {
+        reg.counter(prefix + ".bank_failures") += bankFailures_;
+        reg.counter(prefix + ".bank_repairs") += bankRepairs_;
+        reg.gauge(prefix + ".enabled") = cfg_.enabled ? 1.0 : 0.0;
+        if (!cfg_.enabled)
+            return;
+        int failed_now = 0;
+        for (std::size_t r = 0; r < banks_.size(); ++r)
+            failed_now += failedBanks(static_cast<int>(r));
+        reg.gauge(prefix + ".failed_banks_now") =
+            static_cast<double>(failed_now);
+    }
 
   private:
     struct BankState

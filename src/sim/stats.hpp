@@ -8,10 +8,12 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/reservoir.hpp"
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
 #include "sim/packet.hpp"
 
 namespace pearl {
@@ -177,6 +179,41 @@ class NetworkStats
         return cycles ? static_cast<double>(deliveredBits_) /
                             static_cast<double>(cycles)
                       : 0.0;
+    }
+
+    /**
+     * Publish end-of-run totals into the observability registry under
+     * `prefix` (default "net").  Counters mirror the RunMetrics totals
+     * exactly (tests reconcile them); the latency distribution is
+     * summarised from the existing reservoir as p50/p95/p99.
+     */
+    void
+    publishTo(obs::MetricsRegistry &reg,
+              const std::string &prefix = "net") const
+    {
+        reg.counter(prefix + ".injected_packets") += injectedPackets_;
+        reg.counter(prefix + ".injected_flits") += injectedFlits_;
+        reg.counter(prefix + ".delivered_packets") += deliveredPackets_;
+        reg.counter(prefix + ".delivered_flits") += deliveredFlits_;
+        reg.counter(prefix + ".delivered_bits") += deliveredBits_;
+        reg.counter(prefix + ".cpu_delivered_packets") += cpuDelivered_;
+        reg.counter(prefix + ".gpu_delivered_packets") += gpuDelivered_;
+        reg.counter(prefix + ".corrupted_packets") += corruptedPackets_;
+        reg.counter(prefix + ".reservation_drops") += reservationDrops_;
+        reg.counter(prefix + ".ack_timeouts") += ackTimeouts_;
+        reg.counter(prefix + ".retransmitted_packets") +=
+            retransmittedPackets_;
+        reg.counter(prefix + ".dropped_packets") += droppedPackets_;
+        reg.counter(prefix + ".thermal_unlocked_cycles") +=
+            thermalUnlockedCycles_;
+        reg.gauge(prefix + ".avg_latency_cycles") = latency_.mean();
+        obs::HistogramSummary &h =
+            reg.histogram(prefix + ".latency_cycles");
+        h.count = latencySample_.count();
+        h.mean = latency_.mean();
+        h.p50 = latencySample_.quantile(0.50);
+        h.p95 = latencySample_.quantile(0.95);
+        h.p99 = latencySample_.quantile(0.99);
     }
 
     void

@@ -15,7 +15,9 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
+#include "obs/registry.hpp"
 #include "sim/packet.hpp"
 
 namespace pearl {
@@ -57,6 +59,13 @@ struct RouterTelemetry
     std::uint64_t packetsDropped = 0;     //!< retry budget exhausted here
     std::uint64_t outOfLockCycles = 0;    //!< ring bank out of thermal lock
 
+    // Per-cycle DBA allocation shares accumulated over the window, for
+    // the observability plane (mean split = sum / dbaCycles).  Not part
+    // of the 30 Table III features, so the ML pipeline is unaffected.
+    double dbaCpuShareSum = 0.0;
+    double dbaGpuShareSum = 0.0;
+    std::uint64_t dbaCycles = 0;
+
     /** Count a packet passing through, by its Table III class. */
     void
     noteClass(MsgClass c)
@@ -68,6 +77,31 @@ struct RouterTelemetry
     reset()
     {
         *this = RouterTelemetry{};
+    }
+
+    /** Publish this window's counters into the observability registry
+     *  under `prefix` (e.g. "router3"). */
+    void
+    publishTo(obs::MetricsRegistry &reg, const std::string &prefix) const
+    {
+        reg.counter(prefix + ".packets_injected") += packetsInjected;
+        reg.counter(prefix + ".packets_to_core") += packetsToCore;
+        reg.counter(prefix + ".incoming_from_routers") +=
+            incomingFromRouters;
+        reg.counter(prefix + ".incoming_from_cores") += incomingFromCores;
+        reg.counter(prefix + ".link_busy_cycles") += linkBusyCycles;
+        reg.counter(prefix + ".retransmits_queued") += retransmitsQueued;
+        reg.counter(prefix + ".corrupted_arrivals") += corruptedArrivals;
+        reg.counter(prefix + ".packets_dropped") += packetsDropped;
+        reg.counter(prefix + ".out_of_lock_cycles") += outOfLockCycles;
+        reg.gauge(prefix + ".wavelengths") =
+            static_cast<double>(wavelengths);
+        const double cycles =
+            dbaCycles ? static_cast<double>(dbaCycles) : 1.0;
+        reg.gauge(prefix + ".dba_cpu_share_mean") =
+            dbaCpuShareSum / cycles;
+        reg.gauge(prefix + ".dba_gpu_share_mean") =
+            dbaGpuShareSum / cycles;
     }
 };
 

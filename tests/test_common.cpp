@@ -179,6 +179,92 @@ TEST(Env, EnvU64FallsBackOnGarbage)
     EXPECT_EQ(envU64("PEARL_TEST_ENV_U64", 1234u), 1234u);
 }
 
+TEST(Env, ParseDoubleAcceptsNumbers)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDouble("0", v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+    EXPECT_TRUE(parseDouble("-2.5", v));
+    EXPECT_DOUBLE_EQ(v, -2.5);
+    EXPECT_TRUE(parseDouble("1e-3", v));
+    EXPECT_DOUBLE_EQ(v, 1e-3);
+    EXPECT_TRUE(parseDouble("42 ", v)); // trailing blanks tolerated
+    EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(Env, ParseDoubleRejectsGarbage)
+{
+    double v = 0.0;
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("abc", v));
+    EXPECT_FALSE(parseDouble("1.5x", v));
+    EXPECT_FALSE(parseDouble("1e999", v)); // overflow
+}
+
+TEST(Env, ParseBoolAcceptsTheUsualSpellings)
+{
+    bool v = false;
+    for (const char *t : {"1", "true", "TRUE", "Yes", "on", " true "}) {
+        EXPECT_TRUE(parseBool(t, v)) << t;
+        EXPECT_TRUE(v) << t;
+    }
+    for (const char *f : {"0", "false", "FALSE", "No", "off", " off "}) {
+        EXPECT_TRUE(parseBool(f, v)) << f;
+        EXPECT_FALSE(v) << f;
+    }
+}
+
+TEST(Env, ParseBoolRejectsGarbage)
+{
+    bool v = false;
+    EXPECT_FALSE(parseBool("", v));
+    EXPECT_FALSE(parseBool("   ", v));
+    EXPECT_FALSE(parseBool("2", v));
+    EXPECT_FALSE(parseBool("enable", v));
+    EXPECT_FALSE(parseBool("true!", v));
+}
+
+TEST(Env, EnvDoubleFallsBackOnGarbage)
+{
+    setenv("PEARL_TEST_ENV_D", "nope", 1);
+    EXPECT_DOUBLE_EQ(envDouble("PEARL_TEST_ENV_D", 2.5), 2.5);
+
+    setenv("PEARL_TEST_ENV_D", "0.125", 1);
+    EXPECT_DOUBLE_EQ(envDouble("PEARL_TEST_ENV_D", 2.5), 0.125);
+
+    unsetenv("PEARL_TEST_ENV_D");
+    EXPECT_DOUBLE_EQ(envDouble("PEARL_TEST_ENV_D", 2.5), 2.5);
+}
+
+TEST(Env, EnvBoolFallsBackOnGarbage)
+{
+    setenv("PEARL_TEST_ENV_B", "maybe", 1);
+    EXPECT_TRUE(envBool("PEARL_TEST_ENV_B", true));
+    EXPECT_FALSE(envBool("PEARL_TEST_ENV_B", false));
+
+    setenv("PEARL_TEST_ENV_B", "yes", 1);
+    EXPECT_TRUE(envBool("PEARL_TEST_ENV_B", false));
+    setenv("PEARL_TEST_ENV_B", "off", 1);
+    EXPECT_FALSE(envBool("PEARL_TEST_ENV_B", true));
+
+    unsetenv("PEARL_TEST_ENV_B");
+    EXPECT_FALSE(envBool("PEARL_TEST_ENV_B", false));
+}
+
+TEST(Env, EnvStrReturnsSetValueVerbatim)
+{
+    unsetenv("PEARL_TEST_ENV_S");
+    EXPECT_EQ(envStr("PEARL_TEST_ENV_S", "fb"), "fb");
+
+    setenv("PEARL_TEST_ENV_S", "trace.jsonl", 1);
+    EXPECT_EQ(envStr("PEARL_TEST_ENV_S", "fb"), "trace.jsonl");
+
+    // "" is a set value, not an unset one.
+    setenv("PEARL_TEST_ENV_S", "", 1);
+    EXPECT_EQ(envStr("PEARL_TEST_ENV_S", "fb"), "");
+    unsetenv("PEARL_TEST_ENV_S");
+}
+
 TEST(RunningStat, MeanVarianceMinMax)
 {
     RunningStat s;

@@ -6,7 +6,9 @@
  * short cycle counts — through the sweep engine and compares every
  * RunMetrics field against checked-in CSVs under tests/golden/.  Any
  * drift in simulation output fails with a field-level diff naming the
- * config, pair and field.
+ * config, pair and field.  The CSV schema (column set, order and value
+ * formatting) is the canonical one from metrics/csv.hpp — the same one
+ * PEARL_METRICS_DUMP writes.
  *
  * Regenerate the golden files after an intentional behaviour change:
  *   PEARL_UPDATE_GOLDEN=1 ./test_golden_metrics
@@ -18,13 +20,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <iomanip>
-#include <limits>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/env.hpp"
+#include "metrics/csv.hpp"
 #include "metrics/sweep.hpp"
 #include "ml/pipeline.hpp"
 #include "ml/policy.hpp"
@@ -37,72 +37,6 @@
 namespace pearl {
 namespace metrics {
 namespace {
-
-/** One named, typed field of a RunMetrics row. */
-struct Field
-{
-    std::string name;
-    bool isInteger = false;
-    std::uint64_t u = 0;
-    double d = 0.0;
-};
-
-std::vector<Field>
-fieldsOf(const RunMetrics &m)
-{
-    std::vector<Field> f;
-    auto addU = [&f](const char *n, std::uint64_t v) {
-        f.push_back({n, true, v, 0.0});
-    };
-    auto addD = [&f](const std::string &n, double v) {
-        f.push_back({n, false, 0, v});
-    };
-    addU("cycles", m.cycles);
-    addU("deliveredPackets", m.deliveredPackets);
-    addU("deliveredFlits", m.deliveredFlits);
-    addU("deliveredBits", m.deliveredBits);
-    addU("cpuPackets", m.cpuPackets);
-    addU("gpuPackets", m.gpuPackets);
-    addD("throughputFlitsPerCycle", m.throughputFlitsPerCycle);
-    addD("throughputGbps", m.throughputGbps);
-    addD("avgLatencyCycles", m.avgLatencyCycles);
-    addD("cpuLatencyCycles", m.cpuLatencyCycles);
-    addD("gpuLatencyCycles", m.gpuLatencyCycles);
-    addD("totalEnergyJ", m.totalEnergyJ);
-    addD("energyPerBitPj", m.energyPerBitPj);
-    addD("laserPowerW", m.laserPowerW);
-    addU("corruptedPackets", m.corruptedPackets);
-    addU("reservationDrops", m.reservationDrops);
-    addU("retransmittedPackets", m.retransmittedPackets);
-    addU("ackTimeouts", m.ackTimeouts);
-    addU("droppedPackets", m.droppedPackets);
-    addU("thermalUnlockedCycles", m.thermalUnlockedCycles);
-    for (std::size_t s = 0; s < m.residency.size(); ++s)
-        addD("residency" + std::to_string(s), m.residency[s]);
-    return f;
-}
-
-std::string
-formatValue(const Field &f)
-{
-    if (f.isInteger)
-        return std::to_string(f.u);
-    std::ostringstream oss;
-    oss << std::setprecision(std::numeric_limits<double>::max_digits10)
-        << f.d;
-    return oss.str();
-}
-
-std::vector<std::string>
-splitCsv(const std::string &line)
-{
-    std::vector<std::string> cells;
-    std::stringstream ss(line);
-    std::string cell;
-    while (std::getline(ss, cell, ','))
-        cells.push_back(cell);
-    return cells;
-}
 
 /** Doubles must round-trip exactly through the CSV; the tiny relative
  *  tolerance only absorbs printf/strtod last-ulp asymmetries, never a
@@ -121,7 +55,7 @@ doubleMatches(double golden, double actual)
 struct GoldenConfig
 {
     std::string name;                       //!< also the CSV stem
-    std::vector<SweepJob> jobs;
+    std::vector<RunSpec> jobs;
 };
 
 RunOptions
@@ -174,7 +108,7 @@ goldenGrid(const traffic::BenchmarkSuite &suite)
             GoldenConfig cfg;
             cfg.name = name;
             for (const auto &pair : pairs) {
-                SweepJob job;
+                RunSpec job;
                 job.configName = name;
                 job.pair = pair;
                 job.options = opts;
@@ -215,16 +149,9 @@ writeGolden(const GoldenConfig &cfg,
     const std::string path = goldenPath(cfg.name);
     std::ofstream out(path);
     ASSERT_TRUE(out) << "cannot write " << path;
-    out << "pair";
-    for (const Field &f : fieldsOf(runs.front()))
-        out << "," << f.name;
-    out << "\n";
-    for (const RunMetrics &m : runs) {
-        out << m.pairLabel;
-        for (const Field &f : fieldsOf(m))
-            out << "," << formatValue(f);
-        out << "\n";
-    }
+    out << csvHeader({"pair"}) << "\n";
+    for (const RunMetrics &m : runs)
+        out << csvRow({m.pairLabel}, m) << "\n";
 }
 
 void
@@ -238,19 +165,19 @@ compareGolden(const GoldenConfig &cfg,
 
     std::string line;
     ASSERT_TRUE(std::getline(in, line)) << "empty golden " << path;
-    const std::vector<std::string> header = splitCsv(line);
+    const std::vector<std::string> header = splitCsvLine(line);
 
     for (const RunMetrics &m : runs) {
         ASSERT_TRUE(std::getline(in, line))
             << path << ": fewer rows than the grid has runs";
-        const std::vector<std::string> cells = splitCsv(line);
-        const std::vector<Field> fields = fieldsOf(m);
+        const std::vector<std::string> cells = splitCsvLine(line);
+        const std::vector<MetricField> fields = metricFields(m);
         ASSERT_EQ(cells.size(), fields.size() + 1)
             << path << ": column count mismatch (stale golden format?)";
         EXPECT_EQ(cells[0], m.pairLabel) << path << ": row order drift";
 
         for (std::size_t i = 0; i < fields.size(); ++i) {
-            const Field &f = fields[i];
+            const MetricField &f = fields[i];
             ASSERT_EQ(header[i + 1], f.name)
                 << path << ": header mismatch at column " << i + 1;
             const std::string where = cfg.name + "/" + m.pairLabel +
@@ -264,7 +191,7 @@ compareGolden(const GoldenConfig &cfg,
                                                   nullptr);
                 EXPECT_TRUE(doubleMatches(golden, f.d))
                     << where << ": golden " << cells[i + 1]
-                    << " vs actual " << formatValue(f);
+                    << " vs actual " << formatMetricValue(f);
             }
         }
     }

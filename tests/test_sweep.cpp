@@ -102,7 +102,7 @@ faultyConfig()
 /** The 8-job determinism grid: two pairs x {reactive, static} x
  *  {healthy, faulty} PEARL plus two CMESH baselines — together they
  *  exercise residency arrays, fault counters and both fabrics. */
-std::vector<SweepJob>
+std::vector<RunSpec>
 determinismJobs(const traffic::BenchmarkSuite &suite)
 {
     RunOptions opts;
@@ -114,14 +114,14 @@ determinismJobs(const traffic::BenchmarkSuite &suite)
         {suite.find("FA"), suite.find("Reduc")},
     };
 
-    std::vector<SweepJob> jobs;
+    std::vector<RunSpec> jobs;
     for (int j = 0; j < 8; ++j) {
-        SweepJob job;
+        RunSpec job;
         job.configName = "job" + std::to_string(j);
         job.pair = pairs[j % 2];
         job.options = opts;
         if (j >= 6) {
-            job.fabric = SweepJob::Fabric::Cmesh;
+            job.fabric = RunSpec::Fabric::Cmesh;
         } else {
             if (j >= 3)
                 job.pearl = faultyConfig();
@@ -142,7 +142,7 @@ determinismJobs(const traffic::BenchmarkSuite &suite)
 }
 
 SweepResult
-runWithThreads(const std::vector<SweepJob> &jobs, unsigned threads)
+runWithThreads(const std::vector<RunSpec> &jobs, unsigned threads)
 {
     SweepOptions so;
     so.threads = threads;
@@ -187,12 +187,12 @@ TEST_F(SweepTest, SubmissionOrderPreserved)
 {
     // Custom jobs with staggered labels: results must come back in
     // submission order regardless of completion order.
-    std::vector<SweepJob> jobs;
+    std::vector<RunSpec> jobs;
     for (int i = 0; i < 16; ++i) {
-        SweepJob job;
+        RunSpec job;
         job.configName = "cfg" + std::to_string(i);
         job.label = "label" + std::to_string(i);
-        job.custom = [i](const SweepJob &j, std::uint64_t) {
+        job.custom = [i](const RunSpec &j, std::uint64_t) {
             RunMetrics m;
             m.configName = j.configName;
             m.pairLabel = j.label;
@@ -216,10 +216,10 @@ TEST_F(SweepTest, SubmissionOrderPreserved)
 
 TEST_F(SweepTest, SeedsDeriveFromBaseAndIndex)
 {
-    std::vector<SweepJob> jobs;
+    std::vector<RunSpec> jobs;
     for (int i = 0; i < 4; ++i) {
-        SweepJob job;
-        job.custom = [](const SweepJob &, std::uint64_t) {
+        RunSpec job;
+        job.custom = [](const RunSpec &, std::uint64_t) {
             return RunMetrics{};
         };
         if (i == 2)
@@ -244,11 +244,11 @@ TEST_F(SweepTest, SeedsDeriveFromBaseAndIndex)
 
 TEST_F(SweepTest, ErrorPropagates)
 {
-    std::vector<SweepJob> jobs;
+    std::vector<RunSpec> jobs;
     for (int i = 0; i < 6; ++i) {
-        SweepJob job;
+        RunSpec job;
         job.configName = "e" + std::to_string(i);
-        job.custom = [i](const SweepJob &, std::uint64_t) {
+        job.custom = [i](const RunSpec &, std::uint64_t) {
             if (i == 3)
                 throw std::runtime_error("boom in job 3");
             return RunMetrics{};
@@ -269,10 +269,10 @@ TEST_F(SweepTest, ErrorPropagates)
 
 TEST_F(SweepTest, SerialCancelSkipsRemaining)
 {
-    std::vector<SweepJob> jobs;
+    std::vector<RunSpec> jobs;
     for (int i = 0; i < 5; ++i) {
-        SweepJob job;
-        job.custom = [i](const SweepJob &, std::uint64_t) {
+        RunSpec job;
+        job.custom = [i](const RunSpec &, std::uint64_t) {
             if (i == 1)
                 throw std::runtime_error("fail fast");
             return RunMetrics{};
@@ -295,10 +295,10 @@ TEST_F(SweepTest, SerialCancelSkipsRemaining)
 
 TEST_F(SweepTest, CancelOnErrorOffRunsEverything)
 {
-    std::vector<SweepJob> jobs;
+    std::vector<RunSpec> jobs;
     for (int i = 0; i < 4; ++i) {
-        SweepJob job;
-        job.custom = [i](const SweepJob &, std::uint64_t) {
+        RunSpec job;
+        job.custom = [i](const RunSpec &, std::uint64_t) {
             if (i == 0)
                 throw std::runtime_error("only job 0 fails");
             return RunMetrics{};
