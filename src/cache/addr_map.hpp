@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Flat linear-scan address map for small bounded tables (MSHRs).
+ *
+ * The MSHRs hold at most a few dozen outstanding line addresses
+ * (cpuL2MshrEntries / gpuL2MshrEntries, and the L3 transaction table
+ * tracks in-flight lines only), yet profiling showed the hash-map
+ * machinery of std::unordered_map — bucket indirection, per-node
+ * allocation, hashing — dominating the cache-model time.  At these
+ * sizes a contiguous scan wins on every lookup.  Keys and values live
+ * in parallel arrays so the scan streams over densely packed 8-byte
+ * keys instead of striding across full slots.
+ *
+ * Deliberately minimal API.  Erase is swap-with-last, so pointers
+ * returned by find()/tryEmplace() are invalidated by erase and by
+ * growth; callers re-find after any mutation (the cache models already
+ * do, since std::unordered_map invalidated iterators on rehash too).
+ * No iteration is exposed: nothing may depend on element order.
+ */
+
+#ifndef PEARL_CACHE_ADDR_MAP_HPP
+#define PEARL_CACHE_ADDR_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace pearl {
+namespace cache {
+
+/** Flat map from a 64-bit line address to V. */
+template <typename V>
+class AddrMap
+{
+  public:
+    void
+    reserve(std::size_t n)
+    {
+        keys_.reserve(n);
+        values_.reserve(n);
+    }
+
+    std::size_t size() const { return keys_.size(); }
+    bool empty() const { return keys_.empty(); }
+
+    V *
+    find(std::uint64_t key)
+    {
+        const std::size_t n = keys_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (keys_[i] == key)
+                return &values_[i];
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(std::uint64_t key) const
+    {
+        return const_cast<AddrMap *>(this)->find(key);
+    }
+
+    bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /** Insert a default-constructed value if absent; like try_emplace.
+     *  @return the value slot and whether it was freshly inserted. */
+    std::pair<V *, bool>
+    tryEmplace(std::uint64_t key)
+    {
+        if (V *existing = find(key))
+            return {existing, false};
+        keys_.push_back(key);
+        values_.emplace_back();
+        return {&values_.back(), true};
+    }
+
+    /** Insert a value for a key that must be absent. */
+    V &
+    insertNew(std::uint64_t key, V &&value)
+    {
+        PEARL_ASSERT(!contains(key));
+        keys_.push_back(key);
+        values_.push_back(std::move(value));
+        return values_.back();
+    }
+
+    /** Remove a key that must be present (swap-with-last). */
+    void
+    erase(std::uint64_t key)
+    {
+        const std::size_t n = keys_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (keys_[i] != key)
+                continue;
+            if (i + 1 != n) {
+                keys_[i] = keys_.back();
+                values_[i] = std::move(values_.back());
+            }
+            keys_.pop_back();
+            values_.pop_back();
+            return;
+        }
+        PEARL_ASSERT(false, "AddrMap::erase: key not present");
+    }
+
+    void
+    clear()
+    {
+        keys_.clear();
+        values_.clear();
+    }
+
+  private:
+    std::vector<std::uint64_t> keys_;
+    std::vector<V> values_;
+};
+
+} // namespace cache
+} // namespace pearl
+
+#endif // PEARL_CACHE_ADDR_MAP_HPP

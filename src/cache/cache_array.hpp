@@ -31,9 +31,12 @@ class CacheArray
   public:
     struct Line
     {
+        // Field order packs the line into 24 bytes (u64s first, then the
+        // state byte next to the metadata) — the arrays dwarf the host
+        // LLC, so bytes per line are bytes per miss.
         std::uint64_t tag = 0;
-        CacheState state = CacheState::I;
         std::uint64_t lastUse = 0;
+        CacheState state = CacheState::I;
         Meta meta{};
     };
 
@@ -48,7 +51,14 @@ class CacheArray
         PEARL_ASSERT(numSets_ > 0);
         PEARL_ASSERT(numSets_ * static_cast<std::uint64_t>(ways) ==
                      total_lines, "total_lines must be ways-divisible");
+        // Every stock configuration has a power-of-two set count, so the
+        // per-access set index can be a mask instead of a 64-bit modulo
+        // (which sat high in the cycle-loop profile).  Odd set counts
+        // keep the modulo path; the mapping is identical either way.
+        pow2Sets_ = (numSets_ & (numSets_ - 1)) == 0;
+        setMask_ = numSets_ - 1;
         lines_.resize(total_lines);
+        tags_.resize(total_lines, 0);
     }
 
     std::uint64_t numSets() const { return numSets_; }
@@ -59,10 +69,21 @@ class CacheArray
     Line *
     find(std::uint64_t line_addr)
     {
-        const std::uint64_t set = line_addr % numSets_;
+        // Scan the densely packed tag shadow first: a set's tags span one
+        // or two cache lines, versus one line per way when striding over
+        // the full Line records.  The arrays together exceed the host
+        // LLC, so touched bytes per lookup are what this costs.  A tag
+        // hit still checks the authoritative state — callers invalidate
+        // lines by writing `state` directly, which leaves a stale shadow
+        // tag behind (and possibly a second, valid copy in another way),
+        // so a stale match must not end the scan.
+        const std::uint64_t base = setOf(line_addr) *
+                                   static_cast<std::uint64_t>(ways_);
         for (int w = 0; w < ways_; ++w) {
-            Line &line = lines_[set * ways_ + w];
-            if (isValid(line.state) && line.tag == line_addr)
+            if (tags_[base + static_cast<std::uint64_t>(w)] != line_addr)
+                continue;
+            Line &line = lines_[base + static_cast<std::uint64_t>(w)];
+            if (isValid(line.state))
                 return &line;
         }
         return nullptr;
@@ -89,7 +110,7 @@ class CacheArray
     Line &
     victim(std::uint64_t line_addr)
     {
-        const std::uint64_t set = line_addr % numSets_;
+        const std::uint64_t set = setOf(line_addr);
         Line *lru = &lines_[set * ways_];
         for (int w = 0; w < ways_; ++w) {
             Line &line = lines_[set * ways_ + w];
@@ -110,18 +131,36 @@ class CacheArray
     Line &
     victimWhere(std::uint64_t line_addr, BusyPred busy)
     {
-        const std::uint64_t set = line_addr % numSets_;
-        Line *best = nullptr;
+        // Probe candidates in LRU order and stop at the first non-busy
+        // one.  The LRU stamps are unique (useClock_ strictly
+        // increases), so "first non-busy in ascending lastUse order" is
+        // exactly "least-recently-used non-busy way" — the same line
+        // the old every-way scan picked — while the busy predicate
+        // (typically an MSHR scan) usually runs once instead of per way.
+        const std::uint64_t set = setOf(line_addr);
+        Line *const base = &lines_[set * static_cast<std::uint64_t>(ways_)];
         for (int w = 0; w < ways_; ++w) {
-            Line &line = lines_[set * ways_ + w];
-            if (!isValid(line.state))
-                return line;
-            if (busy(line.tag))
-                continue;
-            if (!best || line.lastUse < best->lastUse)
-                best = &line;
+            if (!isValid(base[w].state))
+                return base[w];
         }
-        return best ? *best : victim(line_addr);
+        bool tried[64] = {};
+        PEARL_ASSERT(ways_ <= 64);
+        for (int round = 0; round < ways_; ++round) {
+            Line *lru = nullptr;
+            int lru_w = 0;
+            for (int w = 0; w < ways_; ++w) {
+                if (tried[w])
+                    continue;
+                if (!lru || base[w].lastUse < lru->lastUse) {
+                    lru = &base[w];
+                    lru_w = w;
+                }
+            }
+            if (!busy(lru->tag))
+                return *lru;
+            tried[lru_w] = true;
+        }
+        return victim(line_addr); // every valid way is busy: plain LRU
     }
 
     /**
@@ -132,6 +171,7 @@ class CacheArray
     install(Line &line, std::uint64_t line_addr, CacheState state)
     {
         line.tag = line_addr;
+        tags_[static_cast<std::size_t>(&line - lines_.data())] = line_addr;
         line.state = state;
         line.meta = Meta{};
         touch(line);
@@ -143,6 +183,7 @@ class CacheArray
     {
         for (auto &line : lines_)
             line = Line{};
+        tags_.assign(tags_.size(), 0);
         useClock_ = 0;
     }
 
@@ -159,9 +200,20 @@ class CacheArray
     }
 
   private:
+    std::uint64_t
+    setOf(std::uint64_t line_addr) const
+    {
+        return pow2Sets_ ? (line_addr & setMask_) : (line_addr % numSets_);
+    }
+
     int ways_;
     std::uint64_t numSets_;
+    std::uint64_t setMask_ = 0;
+    bool pow2Sets_ = false;
     std::vector<Line> lines_;
+    /** Shadow of each line's tag, written only by install(); see find().
+     *  Entries for invalid lines are stale, never cleared. */
+    std::vector<std::uint64_t> tags_;
     std::uint64_t useClock_ = 0;
 };
 

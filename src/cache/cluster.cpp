@@ -93,6 +93,12 @@ ClusterNode::ClusterNode(int id, const HomeMap &home,
         l1s_.emplace_back(cfg.cpuL1DLines, cfg.l1Ways);
     for (int g = 0; g < gpu_cus; ++g)
         l1s_.emplace_back(cfg.gpuL1Lines, cfg.l1Ways);
+
+    mshr_[static_cast<int>(CoreType::CPU)].reserve(
+        static_cast<std::size_t>(cfg.cpuL2MshrEntries));
+    mshr_[static_cast<int>(CoreType::GPU)].reserve(
+        static_cast<std::size_t>(cfg.gpuL2MshrEntries));
+    events_.reserve(256);
 }
 
 ClusterNode::L1Array &
@@ -180,22 +186,67 @@ ClusterNode::sendNetwork(MsgClass cls, CoherenceOp op, std::uint64_t addr,
 void
 ClusterNode::tick(Cycle now)
 {
-    for (std::size_t c = 0; c < cpuCores_.size(); ++c) {
-        if (auto acc = cpuCores_[c].tick())
-            coreAccess(CoreType::CPU, static_cast<int>(c), *acc, now);
-    }
-    for (std::size_t g = 0; g < gpuCores_.size(); ++g) {
-        if (auto acc = gpuCores_[g].tick())
-            coreAccess(CoreType::GPU, static_cast<int>(g), *acc, now);
+    // Batch the issue draws before acting on them: the six xoshiro
+    // streams are independent, so running the draws back to back lets
+    // the out-of-order core overlap their serial state-update chains.
+    // Per-generator draw order (and thus every stream) is unchanged,
+    // and accesses are still serviced in core-index order.
+    std::uint32_t fired = 0;
+    for (std::size_t c = 0; c < cpuCores_.size(); ++c)
+        fired |= static_cast<std::uint32_t>(cpuCores_[c].draw()) << c;
+    for (std::size_t g = 0; g < gpuCores_.size(); ++g)
+        fired |= static_cast<std::uint32_t>(gpuCores_[g].draw()) << (16 + g);
+    if (fired) [[unlikely]] {
+        for (std::size_t c = 0; c < cpuCores_.size(); ++c) {
+            if (fired & (1u << c)) {
+                const traffic::MemAccess acc = cpuCores_[c].generate();
+                coreAccess(CoreType::CPU, static_cast<int>(c), acc, now);
+            }
+        }
+        for (std::size_t g = 0; g < gpuCores_.size(); ++g) {
+            if (fired & (1u << (16 + g))) {
+                const traffic::MemAccess acc = gpuCores_[g].generate();
+                coreAccess(CoreType::GPU, static_cast<int>(g), acc, now);
+            }
+        }
     }
 
     while (!events_.empty() && events_.top().due <= now) {
         const LocalEvent ev = events_.top();
         events_.pop();
-        if (ev.kind == LocalEvent::Kind::L2Access)
+        if (ev.kind == LocalEvent::Kind::L2Access) {
+            if (ev.isRetry) {
+                // Memoized MSHR-full retry.  Version match: no MSHR
+                // entry was retired for this core type since the retry
+                // was queued (and none can have been inserted while the
+                // table stayed full), so re-running l2Access would take
+                // the identical full-MSHR path (no stats, no state) and
+                // requeue.  Version mismatch: an erase happened, but if
+                // the table refilled and this address is still absent,
+                // l2Access would again reach the full-MSHR path — the L2
+                // line can only have been downgraded while the address
+                // was outside the MSHR (only fills install or upgrade,
+                // and fills require an entry), so the lookup cannot have
+                // turned into a hit or an attach.  Either way requeue
+                // directly with a fresh stamp, skipping the lookups.
+                const int ti = static_cast<int>(ev.type);
+                const int capacity = ev.type == sim::CoreType::CPU
+                                         ? cfg_.cpuL2MshrEntries
+                                         : cfg_.gpuL2MshrEntries;
+                if (ev.mshrVersion == mshrVersion_[ti] ||
+                    (static_cast<int>(mshr_[ti].size()) >= capacity &&
+                     !mshr_[ti].contains(ev.addr))) {
+                    LocalEvent retry = ev;
+                    retry.due = now + 2 * cfg_.l2AccessCycles;
+                    retry.mshrVersion = mshrVersion_[ti];
+                    events_.push(retry);
+                    continue;
+                }
+            }
             l2Access(ev, now);
-        else
+        } else {
             completeFill(ev, now);
+        }
     }
 }
 
@@ -238,9 +289,11 @@ ClusterNode::coreAccess(CoreType type, int core_slot,
 
     ++outstanding;
     noteLocalRequest(l1RequestClass(type, acc.instr));
-    events_.push(LocalEvent{now + cfg_.l1ToL2Cycles,
-                            LocalEvent::Kind::L2Access, type, l1_index,
-                            core_slot, acc.lineAddr, acc.write, acc.instr});
+    events_.push(LocalEvent{now + cfg_.l1ToL2Cycles, acc.lineAddr, 0, type,
+                            LocalEvent::Kind::L2Access,
+                            static_cast<std::int8_t>(l1_index),
+                            static_cast<std::int8_t>(core_slot), acc.write,
+                            acc.instr, false});
 }
 
 void
@@ -274,10 +327,9 @@ ClusterNode::l2Access(const LocalEvent &ev, Cycle now)
     }
 
     auto &mshr = mshr_[ti];
-    auto it = mshr.find(ev.addr);
-    if (it != mshr.end()) {
+    if (MshrEntry *attach = mshr.find(ev.addr)) {
         ++stats_.l2Misses[ti];
-        it->second.waiters.push_back(
+        attach->waiters.push_back(
             Waiter{ev.l1Index, ev.coreSlot, ev.write, ev.instr});
         return;
     }
@@ -286,9 +338,13 @@ ClusterNode::l2Access(const LocalEvent &ev, Cycle now)
                                                   : cfg_.gpuL2MshrEntries;
     if (static_cast<int>(mshr.size()) >= capacity) {
         // MSHR full: retry the access shortly.  Retries are not counted
-        // as additional misses.
+        // as additional misses.  The version stamp lets tick() requeue
+        // the retry without repeating this lookup while the MSHR state
+        // is unchanged.
         LocalEvent retry = ev;
         retry.due = now + 2 * cfg_.l2AccessCycles;
+        retry.mshrVersion = mshrVersion_[ti];
+        retry.isRetry = true;
         events_.push(retry);
         return;
     }
@@ -298,11 +354,16 @@ ClusterNode::l2Access(const LocalEvent &ev, Cycle now)
     entry.write = ev.write;
     entry.nonCoherent = ev.type == CoreType::GPU && ev.write &&
                         !isSharedAddr(ev.addr);
+    const bool non_coherent = entry.nonCoherent;
     entry.waiters.push_back(
         Waiter{ev.l1Index, ev.coreSlot, ev.write, ev.instr});
-    mshr.emplace(ev.addr, std::move(entry));
+    // No version bump here: a queued retry exists only because this table
+    // was full, and while it is full this insert path cannot execute, so
+    // an insert can never be the first event that changes a retry's
+    // outcome — the erase that made room for it already bumped.
+    mshr.insertNew(ev.addr, std::move(entry));
 
-    const CoherenceOp op = (ev.write && !entry.nonCoherent)
+    const CoherenceOp op = (ev.write && !non_coherent)
                                ? CoherenceOp::ReadExcl
                                : CoherenceOp::Read;
     sendNetwork(l2DownRequestClass(ev.type), op, ev.addr,
@@ -359,13 +420,14 @@ ClusterNode::handleFillResponse(const Packet &pkt, Cycle now)
     const CoreType type = sim::coreTypeOf(pkt.msgClass);
     const int ti = static_cast<int>(type);
     auto &mshr = mshr_[ti];
-    auto it = mshr.find(pkt.addr);
-    if (it == mshr.end()) {
+    MshrEntry *found = mshr.find(pkt.addr);
+    if (!found) {
         warn("cluster ", id_, ": stray fill for addr ", pkt.addr);
         return;
     }
-    MshrEntry entry = std::move(it->second);
-    mshr.erase(it);
+    MshrEntry entry = std::move(*found);
+    mshr.erase(pkt.addr);
+    ++mshrVersion_[ti];
 
     const bool exclusive = pkt.op == CoherenceOp::DataExcl;
     if (entry.write && !entry.nonCoherent) {
@@ -394,19 +456,22 @@ ClusterNode::handleFillResponse(const Packet &pkt, Cycle now)
                 // The grant was shared but a store is waiting: retry the
                 // store, which will raise an upgrade (ReadExcl) — this is
                 // exactly the extra coherence traffic real NMOESI incurs.
-                events_.push(LocalEvent{now + cfg_.l2AccessCycles,
-                                        LocalEvent::Kind::L2Access, type,
-                                        w.l1Index, w.coreSlot, pkt.addr,
-                                        true, w.instr});
+                events_.push(LocalEvent{now + cfg_.l2AccessCycles, pkt.addr,
+                                        0, type, LocalEvent::Kind::L2Access,
+                                        static_cast<std::int8_t>(w.l1Index),
+                                        static_cast<std::int8_t>(w.coreSlot),
+                                        true, w.instr, false});
             } else {
                 --outstanding_[ti][static_cast<std::size_t>(w.coreSlot)];
             }
         } else {
             line->meta.l1Mask |=
                 static_cast<std::uint8_t>(1u << (w.l1Index % 8));
-            events_.push(LocalEvent{now + cfg_.l2AccessCycles,
-                                    LocalEvent::Kind::Fill, type, w.l1Index,
-                                    w.coreSlot, pkt.addr, false, w.instr});
+            events_.push(LocalEvent{now + cfg_.l2AccessCycles, pkt.addr, 0,
+                                    type, LocalEvent::Kind::Fill,
+                                    static_cast<std::int8_t>(w.l1Index),
+                                    static_cast<std::int8_t>(w.coreSlot),
+                                    false, w.instr, false});
         }
     }
 }

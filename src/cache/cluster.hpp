@@ -14,15 +14,15 @@
 #define PEARL_CACHE_CLUSTER_HPP
 
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "cache/addr_map.hpp"
 #include "cache/cache_array.hpp"
 #include "cache/config.hpp"
 #include "cache/home_map.hpp"
 #include "cache/nmoesi.hpp"
 #include "common/rng.hpp"
+#include "sim/min_heap.hpp"
 #include "sim/packet.hpp"
 #include "sim/sink.hpp"
 #include "sim/telemetry.hpp"
@@ -140,17 +140,26 @@ class ClusterNode
         std::vector<Waiter> waiters;
     };
 
-    /** Deferred local work (L1->L2 hop, L2 array access, fills). */
+    /** Deferred local work (L1->L2 hop, L2 array access, fills).
+     *  Deliberately packed to 32 bytes: the event heap is churned every
+     *  cycle (MSHR-full retries circulate through it), and sift cost is
+     *  proportional to element size.  The comparator is unchanged, so
+     *  heap order — and therefore behaviour — is unaffected. */
     struct LocalEvent
     {
         sim::Cycle due;
-        enum class Kind { L2Access, Fill } kind;
-        sim::CoreType type;
-        int l1Index;
-        int coreSlot;
         std::uint64_t addr;
+        /** MSHR-full retry memoization (see tick()): the mshrVersion_
+         *  observed when the retry was queued.  Ignored unless
+         *  isRetry. */
+        std::uint32_t mshrVersion;
+        sim::CoreType type;
+        enum class Kind : std::uint8_t { L2Access, Fill } kind;
+        std::int8_t l1Index;
+        std::int8_t coreSlot;
         bool write;
         bool instr;
+        bool isRetry;
 
         bool
         operator>(const LocalEvent &o) const
@@ -158,6 +167,8 @@ class ClusterNode
             return due > o.due;
         }
     };
+    static_assert(sizeof(LocalEvent) <= 32,
+                  "LocalEvent grew; the event heap is hot");
 
     // Demand + L1 ----------------------------------------------------------
     void coreAccess(sim::CoreType type, int core_slot,
@@ -198,12 +209,23 @@ class ClusterNode
     L2Array cpuL2_;
     L2Array gpuL2_;
 
-    std::unordered_map<std::uint64_t, MshrEntry>
-        mshr_[sim::kNumCoreTypes];
+    AddrMap<MshrEntry> mshr_[sim::kNumCoreTypes];
 
-    std::priority_queue<LocalEvent, std::vector<LocalEvent>,
-                        std::greater<LocalEvent>>
-        events_;
+    /**
+     * Per-type MSHR generation counter, bumped whenever an MSHR entry is
+     * erased — the only event that can change a queued MSHR-full retry's
+     * outcome.  A retry exists only because the table was full; while it
+     * stays full no insert can execute, so capacity can't free and no
+     * same-address entry can appear without an erase first (fills erase
+     * before they install, so every L2 install bumps too).  A retry
+     * event whose stamp still matches is requeued in O(1) without
+     * re-running the L2 lookup: provably the same behaviour, since the
+     * full-MSHR path touches no stats and probes can only downgrade line
+     * states (they never turn a queued retry's miss into a hit).
+     */
+    std::uint32_t mshrVersion_[sim::kNumCoreTypes] = {0, 0};
+
+    sim::MinHeap<LocalEvent> events_;
 
     ClusterStats stats_;
     std::uint64_t packetSeq_ = 0;

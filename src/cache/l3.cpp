@@ -38,6 +38,8 @@ L3Bank::L3Bank(sim::NodeId node_id, int num_clusters,
           cfg.l3Ways)
 {
     PEARL_ASSERT(num_clusters <= 16, "directory mask is 16 bits wide");
+    mshr_.reserve(64);
+    events_.reserve(64);
 }
 
 void
@@ -103,21 +105,20 @@ L3Bank::startLookup(std::uint64_t addr, Cycle now)
 void
 L3Bank::runLookup(std::uint64_t addr, Cycle now)
 {
-    auto it = mshr_.find(addr);
-    if (it == mshr_.end())
+    Transaction *tx = mshr_.find(addr);
+    if (!tx)
         return;
-    Transaction &tx = it->second;
-    if (tx.phase != Transaction::Phase::Lookup)
+    if (tx->phase != Transaction::Phase::Lookup)
         return; // a probe or memory fetch is already in flight
-    if (tx.requests.empty()) {
-        mshr_.erase(it);
+    if (tx->requests.empty()) {
+        mshr_.erase(addr);
         return;
     }
 
     auto *line = l3_.find(addr);
     if (!line) {
         ++stats_.misses;
-        tx.phase = Transaction::Phase::MemFetch;
+        tx->phase = Transaction::Phase::MemFetch;
         sendToMemory(CoherenceOp::Read, addr, now);
         return;
     }
@@ -129,8 +130,8 @@ L3Bank::runLookup(std::uint64_t addr, Cycle now)
 void
 L3Bank::handleMemResponse(const Packet &pkt, Cycle now)
 {
-    auto it = mshr_.find(pkt.addr);
-    if (it == mshr_.end()) {
+    Transaction *tx = mshr_.find(pkt.addr);
+    if (!tx) {
         warn("L3 bank ", nodeId_, ": stray memory response for addr ",
              pkt.addr);
         return;
@@ -139,22 +140,22 @@ L3Bank::handleMemResponse(const Packet &pkt, Cycle now)
     if (!line) {
         // Avoid evicting a line another transaction is still working on.
         auto &victim = l3_.victimWhere(pkt.addr, [this](std::uint64_t t) {
-            return mshr_.count(t) != 0;
+            return mshr_.contains(t);
         });
         evictVictim(victim, now);
         l3_.install(victim, pkt.addr, CacheState::S);
         line = &victim;
     }
-    it->second.phase = Transaction::Phase::Lookup;
+    tx->phase = Transaction::Phase::Lookup;
     serviceHead(pkt.addr, *line, now);
 }
 
 void
 L3Bank::serviceHead(std::uint64_t addr, L3Array::Line &line, Cycle now)
 {
-    auto it = mshr_.find(addr);
-    PEARL_ASSERT(it != mshr_.end());
-    Transaction &tx = it->second;
+    Transaction *txp = mshr_.find(addr);
+    PEARL_ASSERT(txp);
+    Transaction &tx = *txp;
     PEARL_ASSERT(!tx.requests.empty());
     const PendingReq &head = tx.requests.front();
     const std::uint16_t self = static_cast<std::uint16_t>(1u << head.cluster);
@@ -201,11 +202,11 @@ void
 L3Bank::finishHead(std::uint64_t addr, L3Array::Line &line, bool exclusive,
                    Cycle now)
 {
-    auto it = mshr_.find(addr);
-    PEARL_ASSERT(it != mshr_.end());
-    Transaction &tx = it->second;
+    Transaction *txp = mshr_.find(addr);
+    PEARL_ASSERT(txp);
+    Transaction &tx = *txp;
     const PendingReq head = tx.requests.front();
-    tx.requests.pop_front();
+    tx.requests.erase(tx.requests.begin());
 
     // Directory update.
     const std::uint16_t self = static_cast<std::uint16_t>(1u << head.cluster);
@@ -223,7 +224,7 @@ L3Bank::finishHead(std::uint64_t addr, L3Array::Line &line, bool exclusive,
                   addr, now);
 
     if (tx.requests.empty()) {
-        mshr_.erase(it);
+        mshr_.erase(addr);
     } else {
         tx.phase = Transaction::Phase::Lookup;
         startLookup(addr, now);
@@ -233,17 +234,17 @@ L3Bank::finishHead(std::uint64_t addr, L3Array::Line &line, bool exclusive,
 void
 L3Bank::handleProbeReply(const Packet &pkt, Cycle now)
 {
-    auto it = mshr_.find(pkt.addr);
+    Transaction *txp = mshr_.find(pkt.addr);
     auto *line = l3_.find(pkt.addr);
 
-    if (it == mshr_.end()) {
+    if (!txp) {
         // Ack/data from a fire-and-forget back-invalidation; flush any
         // dirty data to memory (the line is already gone from the bank).
         if (pkt.op == CoherenceOp::Data)
             sendToMemory(CoherenceOp::Writeback, pkt.addr, now);
         return;
     }
-    Transaction &tx = it->second;
+    Transaction &tx = *txp;
     if (!line) {
         // The line was evicted between the probe and its reply (possible
         // when a memory response installed into its way).  Restart the
@@ -357,11 +358,11 @@ L3Bank::deliver(const Packet &pkt, Cycle now)
             ++stats_.reads;
         else
             ++stats_.readExcls;
-        auto [it, fresh] = mshr_.try_emplace(pkt.addr);
-        it->second.requests.push_back(PendingReq{
+        auto [tx, fresh] = mshr_.tryEmplace(pkt.addr);
+        tx->requests.push_back(PendingReq{
             pkt.src, pkt.op, sim::coreTypeOf(pkt.msgClass), pkt.id});
         if (fresh) {
-            it->second.phase = Transaction::Phase::Lookup;
+            tx->phase = Transaction::Phase::Lookup;
             startLookup(pkt.addr, now);
         }
         break;

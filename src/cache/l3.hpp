@@ -15,14 +15,13 @@
 #define PEARL_CACHE_L3_HPP
 
 #include <cstdint>
-#include <deque>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "cache/addr_map.hpp"
 #include "cache/cache_array.hpp"
 #include "cache/config.hpp"
 #include "cache/home_map.hpp"
+#include "sim/min_heap.hpp"
 #include "sim/packet.hpp"
 #include "sim/sink.hpp"
 #include "sim/telemetry.hpp"
@@ -137,7 +136,12 @@ class L3Bank
         };
 
         Phase phase = Phase::Lookup;
-        std::deque<PendingReq> requests; //!< head is being serviced
+        /** Head is being serviced.  A vector, not a deque: transactions
+         *  are constructed for every in-flight line and a deque's
+         *  eagerly-allocated chunk map dominated the allocation profile;
+         *  the queue rarely exceeds a couple of requesters, so the
+         *  O(size) pop-front is free in practice. */
+        std::vector<PendingReq> requests;
         int pendingAcks = 0;
     };
 
@@ -176,10 +180,8 @@ class L3Bank
     sim::RouterTelemetry *telemetry_ = nullptr;
 
     L3Array l3_;
-    std::unordered_map<std::uint64_t, Transaction> mshr_;
-    std::priority_queue<TimedEvent, std::vector<TimedEvent>,
-                        std::greater<TimedEvent>>
-        events_;
+    AddrMap<Transaction> mshr_;
+    sim::MinHeap<TimedEvent> events_;
 
     L3Stats stats_;
     std::uint64_t packetSeq_ = 0;

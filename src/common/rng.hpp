@@ -11,6 +11,7 @@
 #ifndef PEARL_COMMON_RNG_HPP
 #define PEARL_COMMON_RNG_HPP
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -103,6 +104,33 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /**
+     * Precompute the integer threshold for chanceT():
+     * `chance(p) == chanceT(chanceThreshold(p))` for every p, with the
+     * identical draw consumed.  Proof: uniform() is k * 2^-53 with
+     * k = next() >> 11 an integer below 2^53, so `uniform() < p` is
+     * `k < p * 2^53` (scaling by a power of two is exact), which for
+     * integer k is `k < ceil(p * 2^53)`.  Hot per-cycle draws against a
+     * fixed probability save the int-to-double convert and FP compare.
+     */
+    static std::uint64_t
+    chanceThreshold(double p)
+    {
+        const double t = p * 0x1p53;
+        if (!(t > 0.0))
+            return 0; // p <= 0 (or NaN): chance() is always false
+        if (t >= 0x1p63)
+            return std::uint64_t(1) << 53; // p >= 1: always true
+        return static_cast<std::uint64_t>(std::ceil(t));
+    }
+
+    /** Bernoulli trial against a chanceThreshold() value. */
+    bool
+    chanceT(std::uint64_t threshold)
+    {
+        return (next() >> 11) < threshold;
     }
 
     /**

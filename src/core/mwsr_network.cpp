@@ -13,7 +13,9 @@ MwsrNetwork::MwsrNetwork(const MwsrConfig &cfg,
     : cfg_(cfg), power_(power),
       channels_(static_cast<std::size_t>(cfg.numNodes)),
       voqs_(static_cast<std::size_t>(cfg.numNodes) *
-            static_cast<std::size_t>(cfg.numNodes))
+                static_cast<std::size_t>(cfg.numNodes),
+            sim::RingQueue<Packet>(
+                static_cast<std::size_t>(cfg.voqDepthPackets)))
 {
     PEARL_ASSERT(cfg_.numNodes > 1);
     // Stagger the initial token positions so the channels don't move in
@@ -22,7 +24,7 @@ MwsrNetwork::MwsrNetwork(const MwsrConfig &cfg,
         channels_[static_cast<std::size_t>(d)].holder = d;
 }
 
-std::deque<Packet> &
+sim::RingQueue<Packet> &
 MwsrNetwork::voq(int src, int dst)
 {
     return voqs_[static_cast<std::size_t>(src) *
@@ -30,7 +32,7 @@ MwsrNetwork::voq(int src, int dst)
                  static_cast<std::size_t>(dst)];
 }
 
-const std::deque<Packet> &
+const sim::RingQueue<Packet> &
 MwsrNetwork::voq(int src, int dst) const
 {
     return const_cast<MwsrNetwork *>(this)->voq(src, dst);
@@ -48,11 +50,12 @@ MwsrNetwork::inject(const Packet &pkt)
 {
     if (!canInject(pkt))
         return false;
-    Packet copy = pkt;
-    copy.cycleInjected = cycle_;
-    voq(copy.src, copy.dst).push_back(copy);
-    stats_.noteInjected(copy);
-    flitsInFlight_ += static_cast<std::uint64_t>(copy.numFlits());
+    auto &queue = voq(pkt.src, pkt.dst);
+    queue.push_back(pkt);
+    Packet &stored = queue.back();
+    stored.cycleInjected = cycle_;
+    stats_.noteInjected(stored);
+    flitsInFlight_ += static_cast<std::uint64_t>(stored.numFlits());
     return true;
 }
 

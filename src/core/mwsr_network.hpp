@@ -19,14 +19,14 @@
 #ifndef PEARL_CORE_MWSR_NETWORK_HPP
 #define PEARL_CORE_MWSR_NETWORK_HPP
 
-#include <deque>
-#include <queue>
 #include <vector>
 
 #include "core/arch_config.hpp"
 #include "photonic/power_model.hpp"
 #include "photonic/wl_state.hpp"
+#include "sim/min_heap.hpp"
 #include "sim/network.hpp"
+#include "sim/ring_queue.hpp"
 
 namespace pearl {
 namespace core {
@@ -96,16 +96,14 @@ class MwsrNetwork : public sim::Network
         }
     };
 
-    std::deque<sim::Packet> &voq(int src, int dst);
-    const std::deque<sim::Packet> &voq(int src, int dst) const;
+    sim::RingQueue<sim::Packet> &voq(int src, int dst);
+    const sim::RingQueue<sim::Packet> &voq(int src, int dst) const;
 
     MwsrConfig cfg_;
     photonic::PowerModel power_;
-    std::vector<Channel> channels_;              //!< per destination
-    std::vector<std::deque<sim::Packet>> voqs_;  //!< src*N + dst
-    std::priority_queue<InFlight, std::vector<InFlight>,
-                        std::greater<InFlight>>
-        inFlight_;
+    std::vector<Channel> channels_;                   //!< per destination
+    std::vector<sim::RingQueue<sim::Packet>> voqs_;   //!< src*N + dst
+    sim::MinHeap<InFlight> inFlight_;
     std::vector<sim::Packet> delivered_;
     sim::NetworkStats stats_;
     sim::Cycle cycle_ = 0;

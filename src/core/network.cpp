@@ -36,6 +36,21 @@ PearlNetwork::PearlNetwork(const PearlConfig &cfg,
         outstanding_.resize(static_cast<std::size_t>(cfg_.numNodes()));
     }
     routers_.reserve(static_cast<std::size_t>(cfg_.numNodes()));
+    // Steady-state allocation freedom: reserve the event heaps and the
+    // per-step scratch once, here.  The bounds are generous (every
+    // router's buffers fully serialised at once) so the cycle loop
+    // never grows them.
+    const std::size_t inflight_bound =
+        static_cast<std::size_t>(cfg_.numNodes()) * 64;
+    inFlight_.reserve(inflight_bound);
+    retryScratch_.reserve(inflight_bound);
+    doneScratch_.reserve(64);
+    bitsScratch_.assign(static_cast<std::size_t>(cfg_.numNodes()), 0);
+    if (cfg_.faults.enabled) {
+        timeouts_.reserve(inflight_bound);
+        retx_.reserve(inflight_bound);
+        blockedScratch_.reserve(inflight_bound);
+    }
     Rng thermal_rng(0xA11CE);
     for (int r = 0; r < cfg_.numNodes(); ++r) {
         const bool is_l3 = r == cfg_.l3Node;
@@ -48,6 +63,25 @@ PearlNetwork::PearlNetwork(const PearlConfig &cfg,
                 cfg_.rxRings;
             thermal_.emplace_back(cfg_.thermal, rings,
                                   thermal_rng.fork());
+        }
+    }
+    windowOffsets_.resize(static_cast<std::size_t>(cfg_.numNodes()), 0);
+    if (cfg_.reservationWindow > 0) {
+        for (int r = 0; r < cfg_.numNodes(); ++r) {
+            windowOffsets_[static_cast<std::size_t>(r)] =
+                (static_cast<std::uint64_t>(cfg_.windowOffsetPerRouter) *
+                 static_cast<std::uint64_t>(r)) %
+                cfg_.reservationWindow;
+        }
+    }
+    dynEnergyPerBitJ_ = routerPower_.dynamicEnergyPerBitJ();
+    trimPowerW_.resize(routers_.size());
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+        const int tx_rings = cfg_.txRings * routers_[r]->waveguides();
+        for (int s = 0; s < photonic::kNumWlStates; ++s) {
+            trimPowerW_[r][static_cast<std::size_t>(s)] =
+                routerPower_.trimmingPowerW(photonic::kWlStates[
+                    static_cast<std::size_t>(s)], tx_rings, cfg_.rxRings);
         }
     }
 }
@@ -89,7 +123,7 @@ PearlNetwork::step()
         stepFaultPlane();
 
     // 1. Land due arrivals into receive buffers; full buffers retry.
-    std::vector<InFlight> retry;
+    retryScratch_.clear();
     while (!inFlight_.empty() && inFlight_.top().due <= cycle_) {
         InFlight f = inFlight_.top();
         inFlight_.pop();
@@ -128,25 +162,23 @@ PearlNetwork::step()
         }
         if (!dst.rxEnqueue(f.pkt)) {
             f.due = cycle_ + 1;
-            retry.push_back(std::move(f));
+            retryScratch_.push_back(std::move(f));
         }
     }
-    for (auto &f : retry)
+    for (auto &f : retryScratch_)
         inFlight_.push(std::move(f));
 
     // 2. Transmit: serialise flits onto each router's waveguide.
-    std::vector<TxCompletion> done;
-    std::vector<int> bits_per_router(routers_.size(), 0);
     for (std::size_t r = 0; r < routers_.size(); ++r) {
         auto &router = routers_[r];
         if (faults_.enabled())
             router->setWlCap(faults_.wlCap(static_cast<int>(r)));
-        done.clear();
-        const int bits = router->transmitCycle(cycle_, done);
-        bits_per_router[r] = bits;
+        doneScratch_.clear();
+        const int bits = router->transmitCycle(cycle_, doneScratch_);
+        bitsScratch_[r] = bits;
         dynamicEnergyJ_ +=
-            static_cast<double>(bits) * routerPower_.dynamicEnergyPerBitJ();
-        for (auto &completion : done) {
+            static_cast<double>(bits) * dynEnergyPerBitJ_;
+        for (auto &completion : doneScratch_) {
             if (faults_.enabled()) {
                 Packet &pkt = completion.pkt;
                 if (pkt.attempt == 0)
@@ -186,8 +218,7 @@ PearlNetwork::step()
             // Switching activity (transceiver + laser share) heats the
             // bank; the heater controller sets the trimming power.
             const double activity_w =
-                bits_per_router[r] *
-                    routerPower_.dynamicEnergyPerBitJ() /
+                bitsScratch_[r] * dynEnergyPerBitJ_ /
                     cfg_.cycleSeconds +
                 routerPower_.laserPowerW(router->laser().state());
             auto &bank = thermal_[r];
@@ -218,16 +249,20 @@ PearlNetwork::step()
             }
         } else {
             trimmingEnergyJ_ +=
-                routerPower_.trimmingPowerW(
-                    router->laser().state(),
-                    cfg_.txRings * router->waveguides(), cfg_.rxRings) *
+                trimPowerW_[r][static_cast<std::size_t>(
+                    static_cast<int>(router->laser().state()))] *
                 cfg_.cycleSeconds;
         }
     }
 
-    // 5. Reservation-window boundaries (staggered per router).
+    // 5. Reservation-window boundaries (staggered per router).  One
+    // shared `cycle_ % rw` against precomputed per-router offsets — the
+    // same predicate as isWindowBoundary() without 17 modulos per cycle.
+    const std::uint64_t rw = cfg_.reservationWindow;
+    const std::uint64_t now_mod = rw ? cycle_ % rw : 0;
     for (int r = 0; r < cfg_.numNodes(); ++r) {
-        if (!isWindowBoundary(r, cycle_))
+        if (rw == 0 || cycle_ == 0 ||
+            windowOffsets_[static_cast<std::size_t>(r)] != now_mod)
             continue;
         auto &router = *routers_[static_cast<std::size_t>(r)];
 
@@ -305,6 +340,57 @@ PearlNetwork::step()
     }
 
     ++cycle_;
+}
+
+sim::Cycle
+PearlNetwork::advanceIdle(Cycle max_cycles)
+{
+    // A cycle may be skipped only when step() would provably do nothing
+    // but advance the clock and integrate constant power: no packet
+    // anywhere, no stochastic per-cycle process (fault plane, thermal
+    // model) and no reservation-window boundary inside the jump.  The
+    // jump stops one cycle short of the earliest boundary so the caller
+    // runs it through step(), where the policy may switch laser states.
+    if (max_cycles == 0 || faults_.enabled() || cfg_.useThermalModel ||
+        !idle() || !delivered_.empty())
+        return 0;
+
+    Cycle jump = max_cycles;
+    const std::uint64_t rw = cfg_.reservationWindow;
+    if (rw > 0) {
+        const std::uint64_t now_mod = cycle_ % rw;
+        for (int r = 0; r < cfg_.numNodes(); ++r) {
+            std::uint64_t dist =
+                (windowOffsets_[static_cast<std::size_t>(r)] + rw -
+                 now_mod) % rw;
+            if (dist == 0) {
+                // Boundary at the current cycle: real only past cycle 0
+                // (step() skips boundaries at cycle 0), in which case
+                // this cycle cannot be skipped.
+                if (cycle_ == 0)
+                    dist = rw;
+                else
+                    return 0;
+            }
+            jump = std::min<Cycle>(jump, dist);
+        }
+    }
+
+    // Time-integrated accounting for the skipped cycles.  The laser
+    // state of every router is constant across the jump (state changes
+    // happen only at window boundaries), so the energy integrals are
+    // analytic; window-cycle counters advance exactly.
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+        auto &router = routers_[r];
+        router->accountIdleCycles(jump);
+        router->laser().tickIdle(jump, cfg_.cycleSeconds);
+        trimmingEnergyJ_ +=
+            trimPowerW_[r][static_cast<std::size_t>(
+                static_cast<int>(router->laser().state()))] *
+            cfg_.cycleSeconds * static_cast<double>(jump);
+    }
+    cycle_ += jump;
+    return jump;
 }
 
 void
@@ -425,7 +511,7 @@ PearlNetwork::drainRetxQueue()
 {
     // Due retransmissions re-enter their source's outbound queue; a
     // full buffer pushes back one cycle at a time.
-    std::vector<PendingRetx> blocked;
+    blockedScratch_.clear();
     while (!retx_.empty() && retx_.top().due <= cycle_) {
         PendingRetx p = retx_.top();
         retx_.pop();
@@ -436,10 +522,10 @@ PearlNetwork::drainRetxQueue()
                 traceFaultEvent("retx", p.pkt.src, p.pkt);
         } else {
             p.due = cycle_ + 1;
-            blocked.push_back(std::move(p));
+            blockedScratch_.push_back(std::move(p));
         }
     }
-    for (auto &p : blocked)
+    for (auto &p : blockedScratch_)
         retx_.push(std::move(p));
 }
 

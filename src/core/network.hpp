@@ -15,9 +15,9 @@
 #ifndef PEARL_CORE_NETWORK_HPP
 #define PEARL_CORE_NETWORK_HPP
 
+#include <array>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +29,7 @@
 #include "photonic/power_model.hpp"
 #include "photonic/thermal.hpp"
 #include "common/log.hpp"
+#include "sim/min_heap.hpp"
 #include "sim/network.hpp"
 
 namespace pearl {
@@ -83,6 +84,7 @@ class PearlNetwork : public sim::Network
     bool inject(const sim::Packet &pkt) override;
     bool canInject(const sim::Packet &pkt) const override;
     void step() override;
+    sim::Cycle advanceIdle(sim::Cycle max_cycles) override;
     std::vector<sim::Packet> &delivered() override { return delivered_; }
     sim::Cycle cycle() const override { return cycle_; }
     int numNodes() const override { return cfg_.numNodes(); }
@@ -221,9 +223,7 @@ class PearlNetwork : public sim::Network
      *  emit lock-transition events instead of one event per cycle. */
     std::vector<char> tracedLock_;
     std::vector<std::unique_ptr<PearlRouter>> routers_;
-    std::priority_queue<InFlight, std::vector<InFlight>,
-                        std::greater<InFlight>>
-        inFlight_;
+    sim::MinHeap<InFlight> inFlight_;
     std::vector<sim::Packet> delivered_;
     std::vector<photonic::ThermalRingBank> thermal_; //!< optional
     photonic::FaultInjector faults_;
@@ -232,16 +232,29 @@ class PearlNetwork : public sim::Network
     /** Per-source un-ACKed transmissions, keyed by sequence number. */
     std::vector<std::unordered_map<std::uint64_t, Outstanding>>
         outstanding_;
-    std::priority_queue<TimeoutEvent, std::vector<TimeoutEvent>,
-                        std::greater<TimeoutEvent>>
-        timeouts_;
-    std::priority_queue<PendingRetx, std::vector<PendingRetx>,
-                        std::greater<PendingRetx>>
-        retx_;
+    sim::MinHeap<TimeoutEvent> timeouts_;
+    sim::MinHeap<PendingRetx> retx_;
     sim::NetworkStats stats_;
     sim::Cycle cycle_ = 0;
     double trimmingEnergyJ_ = 0.0;
     double dynamicEnergyJ_ = 0.0;
+    /** Constants of the power model hoisted out of the cycle loop: the
+     *  per-bit dynamic energy, and the trimming power per router per
+     *  laser state (a pure function of both).  Values come from the
+     *  same PowerModel calls the loop used to make, so the per-cycle
+     *  energy accumulation is bit-identical. */
+    double dynEnergyPerBitJ_ = 0.0;
+    std::vector<std::array<double, photonic::kNumWlStates>> trimPowerW_;
+    /** Per-router staggered window offset: (windowOffsetPerRouter * r)
+     *  mod reservationWindow, precomputed for the boundary check. */
+    std::vector<std::uint64_t> windowOffsets_;
+
+    // Per-step scratch, hoisted out of step()/drainRetxQueue() so the
+    // steady-state cycle loop performs no heap allocation.
+    std::vector<InFlight> retryScratch_;
+    std::vector<TxCompletion> doneScratch_;
+    std::vector<int> bitsScratch_;
+    std::vector<PendingRetx> blockedScratch_;
 };
 
 } // namespace core

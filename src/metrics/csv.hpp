@@ -7,8 +7,8 @@
  * the Runner's PEARL_METRICS_DUMP output all share this module, so the
  * checked-in golden files and bench output can never silently diverge.
  *
- * Format contract (matches the checked-in tests/golden/*.csv byte for
- * byte): integers print via std::to_string, doubles via the default
+ * Format contract (matches the checked-in goldens under tests/golden
+ * byte for byte): integers print via std::to_string, doubles via the default
  * ostream format at max_digits10 precision (round-trippable).
  */
 

@@ -11,11 +11,9 @@
 #ifndef PEARL_SIM_BUFFER_HPP
 #define PEARL_SIM_BUFFER_HPP
 
-#include <deque>
-#include <optional>
-
 #include "common/log.hpp"
 #include "sim/packet.hpp"
+#include "sim/ring_queue.hpp"
 
 namespace pearl {
 namespace sim {
@@ -25,8 +23,12 @@ class FlitBuffer
 {
   public:
     /** @param capacity_slots total flit slots available. */
-    explicit FlitBuffer(int capacity_slots) : capacity_(capacity_slots)
+    explicit FlitBuffer(int capacity_slots)
+        : capacity_(capacity_slots),
+          queue_(static_cast<std::size_t>(capacity_slots))
     {
+        // Every packet occupies at least one flit slot, so capacity_slots
+        // also bounds the packet count and the ring can never overflow.
         PEARL_ASSERT(capacity_slots > 0);
     }
 
@@ -109,7 +111,7 @@ class FlitBuffer
   private:
     int capacity_;
     int occupied_ = 0;
-    std::deque<Packet> queue_;
+    RingQueue<Packet> queue_;
 };
 
 /**

@@ -198,20 +198,14 @@ enum class NodeUnit : std::uint8_t
 
 /**
  * A network packet.  Packets are value types; the network models move them
- * by value through buffers and record timing in the cycle fields.
+ * by value through buffers and record timing in the cycle fields — so the
+ * struct layout is hot-path-critical.  Fields are ordered 8-byte members
+ * first, then 4-, 2- and 1-byte members, eliminating interior padding;
+ * the static_assert below keeps the size from regressing.
  */
 struct Packet
 {
     std::uint64_t id = 0;          //!< unique per run
-    MsgClass msgClass = MsgClass::ReqCpuL1D;
-    CoherenceOp op = CoherenceOp::Read;
-    NodeUnit dstUnit = NodeUnit::Cluster;
-    NodeId src = 0;                //!< source router
-    NodeId dst = 0;                //!< destination router
-    int sizeBits = kRequestBits;   //!< payload size
-    Cycle cycleCreated = 0;        //!< when the producing model created it
-    Cycle cycleInjected = 0;       //!< when it entered a router buffer
-    Cycle cycleDelivered = 0;      //!< when the last flit reached dst
     std::uint64_t addr = 0;        //!< cache-line address (coherence)
     std::uint64_t reqId = 0;       //!< id of the request this responds to
 
@@ -219,9 +213,18 @@ struct Packet
      *  onto the waveguide; identifies the packet across retransmission
      *  attempts. */
     std::uint64_t seq = 0;
+    Cycle cycleCreated = 0;        //!< when the producing model created it
+    Cycle cycleInjected = 0;       //!< when it entered a router buffer
+    Cycle cycleDelivered = 0;      //!< when the last flit reached dst
+    NodeId src = 0;                //!< source router
+    NodeId dst = 0;                //!< destination router
+    std::int16_t sizeBits = kRequestBits;  //!< payload size (<= 640)
     /** Transmission attempt, 0 for the first; bounds the exponential
      *  retransmit backoff. */
     std::uint16_t attempt = 0;
+    MsgClass msgClass = MsgClass::ReqCpuL1D;
+    CoherenceOp op = CoherenceOp::Read;
+    NodeUnit dstUnit = NodeUnit::Cluster;
 
     int numFlits() const { return flitsFor(sizeBits); }
     CoreType coreType() const { return coreTypeOf(msgClass); }
@@ -235,6 +238,16 @@ struct Packet
         return cycleDelivered - cycleCreated;
     }
 };
+
+/** kResponseBits (640) must fit the narrow payload field. */
+static_assert(kResponseBits <= INT16_MAX,
+              "sizeBits field too narrow for the largest packet");
+
+/** Layout guard: 7x8-byte + 2x4-byte + 2x2-byte + 3x1-byte = 71 bytes of
+ *  payload, padded to one 8-byte boundary.  Any growth past 72 bytes is a
+ *  copy-cost regression on the hot path and must be deliberate. */
+static_assert(sizeof(Packet) == 72 && alignof(Packet) == 8,
+              "Packet layout regressed; re-pack the fields");
 
 } // namespace sim
 } // namespace pearl

@@ -82,10 +82,10 @@ class GlobalPhase
     tick()
     {
         if (on_) {
-            if (rng_.chance(pOnToOff_))
+            if (rng_.chanceT(tOnToOff_))
                 on_ = false;
         } else {
-            if (rng_.chance(pOffToOn_))
+            if (rng_.chanceT(tOffToOn_))
                 on_ = true;
         }
     }
@@ -95,12 +95,16 @@ class GlobalPhase
   private:
     double pOnToOff_;
     double pOffToOn_;
+    // chanceThreshold() images of the probabilities: the per-cycle
+    // transition draws run on the integer fast path (same stream).
+    std::uint64_t tOnToOff_ = Rng::chanceThreshold(pOnToOff_);
+    std::uint64_t tOffToOn_ = Rng::chanceThreshold(pOffToOn_);
     Rng rng_;
     bool on_;
 };
 
 /** Markov-modulated demand generator for one core. */
-class CoreDemandGenerator
+class alignas(64) CoreDemandGenerator
 {
   public:
     /**
@@ -113,12 +117,47 @@ class CoreDemandGenerator
      */
     CoreDemandGenerator(const BenchmarkProfile &profile, int global_core_id,
                         Rng rng, const GlobalPhase *phase = nullptr)
-        : profile_(profile), rng_(rng), phase_(phase),
+        : rng_(rng), tRateOn_(Rng::chanceThreshold(profile.accessRateOn)),
+          tRateOff_(Rng::chanceThreshold(profile.accessRateOff)),
+          phase_(phase), tOnToOff_(Rng::chanceThreshold(profile.pOnToOff)),
+          tOffToOn_(Rng::chanceThreshold(profile.pOffToOn)),
           privateBase_(AddressSpace::privateBase(global_core_id)),
-          sharedBase_(AddressSpace::sharedBase(profile.coreType))
+          sharedBase_(AddressSpace::sharedBase(profile.coreType)),
+          profile_(profile)
     {
         on_ = rng_.chance(profile_.onFraction());
     }
+
+    /**
+     * The per-cycle issue draw: burst-phase transition (private mode)
+     * plus the Bernoulli issue decision.  Callers that batch several
+     * generators call draw() for each first and generate() afterwards —
+     * the RNG streams are per-generator, so interleaving draws across
+     * generators leaves every stream identical while letting the
+     * otherwise-serial xoshiro dependency chains overlap.
+     */
+    bool
+    draw()
+    {
+        bool on;
+        if (phase_) {
+            on = phase_->on();
+        } else {
+            // Private burst-phase transition, then the issue draw.
+            if (on_) {
+                if (rng_.chanceT(tOnToOff_))
+                    on_ = false;
+            } else {
+                if (rng_.chanceT(tOffToOn_))
+                    on_ = true;
+            }
+            on = on_;
+        }
+        return rng_.chanceT(on ? tRateOn_ : tRateOff_);
+    }
+
+    /** Produce the access for a cycle whose draw() returned true. */
+    MemAccess generate() { return generateAccess(); }
 
     /**
      * Advance one network cycle.
@@ -127,23 +166,7 @@ class CoreDemandGenerator
     std::optional<MemAccess>
     tick()
     {
-        bool on;
-        if (phase_) {
-            on = phase_->on();
-        } else {
-            // Private burst-phase transition, then the issue draw.
-            if (on_) {
-                if (rng_.chance(profile_.pOnToOff))
-                    on_ = false;
-            } else {
-                if (rng_.chance(profile_.pOffToOn))
-                    on_ = true;
-            }
-            on = on_;
-        }
-        const double rate =
-            on ? profile_.accessRateOn : profile_.accessRateOff;
-        if (!rng_.chance(rate))
+        if (!draw())
             return std::nullopt;
         return generateAccess();
     }
@@ -190,14 +213,26 @@ class CoreDemandGenerator
     /** Word accesses per cache line on a streaming walk. */
     static constexpr int kWordsPerLine = 8;
 
-    BenchmarkProfile profile_;
+    // Member order is the hot-path cache layout: with 96 generators
+    // walked every network cycle, the common no-access tick must touch
+    // one line per generator.  The RNG state, the rate thresholds (the
+    // chanceThreshold() images of the per-cycle draw probabilities —
+    // the integer fast path consumes the identical RNG stream), the
+    // phase pointer and the burst flag together fit the first 64-byte
+    // line of the alignas(64) object; everything generateAccess() needs
+    // (the rare path) follows.
     Rng rng_;
+    std::uint64_t tRateOn_;
+    std::uint64_t tRateOff_;
     const GlobalPhase *phase_;
+    bool on_ = false;
+    std::uint64_t tOnToOff_;
+    std::uint64_t tOffToOn_;
     std::uint64_t privateBase_;
     std::uint64_t sharedBase_;
     std::uint64_t streamPtr_ = 0;
     int streamWordCnt_ = 0;
-    bool on_ = false;
+    BenchmarkProfile profile_;
 };
 
 } // namespace traffic

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Idle fast-forward (PEARL_FAST_FORWARD): when the chip is drained and
+ * no generator can ever issue, HeteroSystem::run jumps the clock to the
+ * next reservation-window boundary instead of stepping no-op cycles.
+ *
+ * The tests compare a fast-forwarded run against the same configuration
+ * stepped cycle by cycle: every counter (cycles, window closures, laser
+ * residency, switch counts) must match exactly; the energy integrals are
+ * computed analytically during a jump (k * P * dt instead of k sequential
+ * adds), so they match to rounding.  On any configuration with live
+ * traffic the fast path never engages and runs are bit-identical by
+ * construction — the golden-metrics suite pins that separately.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/network.hpp"
+#include "core/system.hpp"
+#include "photonic/power_model.hpp"
+#include "traffic/suite.hpp"
+
+namespace pearl {
+namespace core {
+namespace {
+
+using sim::Cycle;
+using traffic::BenchmarkPair;
+using traffic::BenchmarkProfile;
+
+/** A profile whose generators can never issue an access. */
+BenchmarkProfile
+quietProfile(sim::CoreType t)
+{
+    BenchmarkProfile p;
+    p.name = "quiet";
+    p.abbrev = "QU";
+    p.coreType = t;
+    p.accessRateOn = 0.0;
+    p.accessRateOff = 0.0;
+    return p;
+}
+
+/** RAII env-var override for PEARL_FAST_FORWARD. */
+class FastForwardEnv
+{
+  public:
+    explicit FastForwardEnv(const char *value)
+    {
+        const char *old = std::getenv("PEARL_FAST_FORWARD");
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        ::setenv("PEARL_FAST_FORWARD", value, 1);
+    }
+    ~FastForwardEnv()
+    {
+        if (had_)
+            ::setenv("PEARL_FAST_FORWARD", old_.c_str(), 1);
+        else
+            ::unsetenv("PEARL_FAST_FORWARD");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+struct QuietRun
+{
+    Cycle networkCycle = 0;
+    Cycle fastForwarded = 0;
+    std::uint64_t windowsClosed = 0;
+    std::uint64_t windowCyclesSum = 0;
+    double betaSum = 0.0;
+    std::uint64_t laserCycles = 0;
+    std::uint64_t upSwitches = 0;
+    std::uint64_t downSwitches = 0;
+    double residencyWl8 = 0.0;
+    double laserEnergyJ = 0.0;
+    double trimmingEnergyJ = 0.0;
+    std::uint64_t delivered = 0;
+};
+
+QuietRun
+runQuiet(bool fast_forward, Cycle cycles, PowerPolicy &policy)
+{
+    FastForwardEnv env(fast_forward ? "1" : "0");
+    PearlConfig cfg;
+    photonic::PowerModel power;
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+
+    QuietRun out;
+    net.setWindowCollector([&out](const WindowRecord &rec) {
+        ++out.windowsClosed;
+        out.windowCyclesSum += rec.windowCycles;
+        out.betaSum += rec.betaTotalMean;
+    });
+
+    BenchmarkPair pair{quietProfile(sim::CoreType::CPU),
+                       quietProfile(sim::CoreType::GPU)};
+    HeteroSystem system(net, pair, SystemConfig{},
+                        [&net](int n) { return &net.telemetryOf(n); });
+    system.run(cycles);
+
+    out.networkCycle = net.cycle();
+    out.fastForwarded = system.fastForwardedCycles();
+    out.delivered = net.stats().deliveredPackets();
+    for (int r = 0; r < net.numNodes(); ++r) {
+        const auto &laser = net.router(r).laser();
+        out.laserCycles += laser.cycles();
+        out.upSwitches += laser.upSwitches();
+        out.downSwitches += laser.downSwitches();
+    }
+    out.residencyWl8 = net.residency(photonic::WlState::WL8);
+    out.laserEnergyJ = net.laserEnergyJ();
+    out.trimmingEnergyJ = net.trimmingEnergyJ();
+    return out;
+}
+
+TEST(FastForward, SkipsIdleCyclesOnQuietConfig)
+{
+    StaticPolicy policy(photonic::WlState::WL64);
+    const QuietRun ff = runQuiet(true, 20000, policy);
+    EXPECT_EQ(ff.networkCycle, 20000u);
+    // Nearly every cycle is skippable: only window-boundary cycles (one
+    // per router per window) must execute.
+    EXPECT_GT(ff.fastForwarded, 15000u);
+    EXPECT_EQ(ff.delivered, 0u);
+}
+
+TEST(FastForward, MatchesSteppedRunExactlyOnCounters)
+{
+    StaticPolicy policy(photonic::WlState::WL64);
+    const QuietRun ff = runQuiet(true, 20000, policy);
+    const QuietRun stepped = runQuiet(false, 20000, policy);
+
+    EXPECT_EQ(stepped.fastForwarded, 0u);
+    EXPECT_EQ(ff.networkCycle, stepped.networkCycle);
+    EXPECT_EQ(ff.windowsClosed, stepped.windowsClosed);
+    EXPECT_EQ(ff.windowCyclesSum, stepped.windowCyclesSum);
+    EXPECT_EQ(ff.betaSum, stepped.betaSum); // exactly 0.0 on both
+    EXPECT_EQ(ff.laserCycles, stepped.laserCycles);
+    EXPECT_EQ(ff.upSwitches, stepped.upSwitches);
+    EXPECT_EQ(ff.downSwitches, stepped.downSwitches);
+    EXPECT_EQ(ff.residencyWl8, stepped.residencyWl8);
+    EXPECT_EQ(ff.delivered, stepped.delivered);
+}
+
+TEST(FastForward, EnergyIntegralsMatchToRounding)
+{
+    StaticPolicy policy(photonic::WlState::WL64);
+    const QuietRun ff = runQuiet(true, 20000, policy);
+    const QuietRun stepped = runQuiet(false, 20000, policy);
+
+    // The jump integrates k cycles with one multiply-add; the stepped
+    // run adds k times.  Same integral, different rounding path.
+    EXPECT_NEAR(ff.laserEnergyJ, stepped.laserEnergyJ,
+                1e-9 * stepped.laserEnergyJ);
+    EXPECT_NEAR(ff.trimmingEnergyJ, stepped.trimmingEnergyJ,
+                1e-9 * stepped.trimmingEnergyJ);
+    EXPECT_GT(ff.laserEnergyJ, 0.0);
+    EXPECT_GT(ff.trimmingEnergyJ, 0.0);
+}
+
+TEST(FastForward, PolicyStateChangesAtBoundariesStillHappen)
+{
+    // A reactive policy on a silent chip walks the laser down to WL8;
+    // the downswitches happen at window boundaries, which fast-forward
+    // must land on and execute — never skip.
+    ReactivePolicy ff_policy{ReactiveThresholds{}};
+    const QuietRun ff = runQuiet(true, 20000, ff_policy);
+    ReactivePolicy stepped_policy{ReactiveThresholds{}};
+    const QuietRun stepped = runQuiet(false, 20000, stepped_policy);
+
+    EXPECT_GT(ff.downSwitches, 0u);
+    EXPECT_EQ(ff.downSwitches, stepped.downSwitches);
+    EXPECT_EQ(ff.upSwitches, stepped.upSwitches);
+    EXPECT_GT(ff.residencyWl8, 0.9); // settled in the lowest state
+    EXPECT_EQ(ff.residencyWl8, stepped.residencyWl8);
+}
+
+TEST(FastForward, EnvVarZeroDisables)
+{
+    StaticPolicy policy(photonic::WlState::WL64);
+    const QuietRun off = runQuiet(false, 5000, policy);
+    EXPECT_EQ(off.fastForwarded, 0u);
+    EXPECT_EQ(off.networkCycle, 5000u);
+}
+
+TEST(FastForward, InertWhenGeneratorsAreLive)
+{
+    // Any nonzero access rate means a generator can fire on any cycle:
+    // the fast path must never engage, keeping live-traffic runs
+    // bit-identical with FF on or off.
+    FastForwardEnv env("1");
+    traffic::BenchmarkSuite suite;
+    BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};
+    PearlConfig cfg;
+    photonic::PowerModel power;
+    StaticPolicy policy(photonic::WlState::WL64);
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+    HeteroSystem system(net, pair, SystemConfig{},
+                        [&net](int n) { return &net.telemetryOf(n); });
+    system.run(3000);
+    EXPECT_EQ(system.fastForwardedCycles(), 0u);
+    EXPECT_GT(net.stats().deliveredPackets(), 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace pearl

@@ -199,6 +199,65 @@ compareGolden(const GoldenConfig &cfg,
         << path << ": more rows than the grid has runs";
 }
 
+/** RAII env-var override for PEARL_FAST_FORWARD.  Set before the sweep
+ *  workers launch and restored after they join, so the getenv in the
+ *  HeteroSystem constructor never races a setenv. */
+class FastForwardEnv
+{
+  public:
+    explicit FastForwardEnv(const char *value)
+    {
+        const char *old = std::getenv("PEARL_FAST_FORWARD");
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        ::setenv("PEARL_FAST_FORWARD", value, 1);
+    }
+    ~FastForwardEnv()
+    {
+        if (had_)
+            ::setenv("PEARL_FAST_FORWARD", old_.c_str(), 1);
+        else
+            ::unsetenv("PEARL_FAST_FORWARD");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Canonical CSV rows for one golden config under a given
+ *  PEARL_FAST_FORWARD setting. */
+std::vector<std::string>
+rowsWithFastForward(const GoldenConfig &cfg, const char *ff)
+{
+    FastForwardEnv env(ff);
+    SweepOptions so;
+    so.baseSeed = 100;
+    const SweepResult result = SweepRunner(so).run(cfg.jobs);
+    std::vector<std::string> rows;
+    for (const RunMetrics &m : result.metricsOrThrow())
+        rows.push_back(csvRow({m.pairLabel}, m));
+    return rows;
+}
+
+TEST(GoldenMetrics, FastForwardOnOffRowsAreByteIdentical)
+{
+    // Idle fast-forward must be unobservable: on every golden config the
+    // generators are live, so the fast path never engages, and a run
+    // with PEARL_FAST_FORWARD on must produce byte-identical canonical
+    // CSV rows to a run with it forced off.
+    traffic::BenchmarkSuite suite;
+    for (const GoldenConfig &cfg : goldenGrid(suite)) {
+        SCOPED_TRACE("config " + cfg.name);
+        const std::vector<std::string> on = rowsWithFastForward(cfg, "1");
+        const std::vector<std::string> off = rowsWithFastForward(cfg, "0");
+        ASSERT_EQ(on.size(), off.size());
+        for (std::size_t i = 0; i < on.size(); ++i)
+            EXPECT_EQ(on[i], off[i]) << "row " << i;
+    }
+}
+
 TEST(GoldenMetrics, FixedGridMatchesCheckedInResults)
 {
     const bool update = pearl::envU64("PEARL_UPDATE_GOLDEN", 0) != 0;
