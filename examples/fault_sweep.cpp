@@ -4,12 +4,15 @@
  *
  * Sweeps the fault-injection severity (BER floor, reservation-drop
  * rate and laser-bank MTBF scale together) and reports, for the FCFS
- * baseline, the reactive scaler and the ML scaler, how achieved
- * throughput, latency, energy per bit and the recovery counters
- * respond.  The healthy column (severity 0) reproduces the ideal
- * fabric the paper evaluates; the rest is the new robustness axis.
+ * baseline, the reactive scaler, the ML scaler and the guarded ML
+ * scaler (ml::GuardedPolicy — reactive fallback when the model's
+ * online error spikes), how achieved throughput, latency, energy per
+ * bit and the recovery counters respond.  The healthy column
+ * (severity 0) reproduces the ideal fabric the paper evaluates; the
+ * rest is the new robustness axis, and the fallback columns show when
+ * the guardrails decided the model could no longer be trusted.
  *
- * The 5 severities x 3 policies grid runs through the parallel sweep
+ * The 5 severities x 4 policies grid runs through the parallel sweep
  * engine (PEARL_SWEEP_THREADS=1 forces the serial path); every cell
  * keeps the same traffic seed so the policies stay comparable under an
  * identical fault realisation.
@@ -24,6 +27,7 @@
 
 #include "common/table.hpp"
 #include "metrics/runner.hpp"
+#include "ml/guarded_policy.hpp"
 #include "ml/pipeline.hpp"
 #include "ml/policy.hpp"
 #include "traffic/suite.hpp"
@@ -100,9 +104,12 @@ main(int argc, char **argv)
     // Build the severity x policy grid.  Every cell pins the same
     // traffic seed so the three policies face identical workloads and
     // fault realisations at each severity.
+    const std::vector<const char *> policies = {"fcfs", "reactive",
+                                                "ml", "guarded"};
+    const ml::GuardrailConfig guard = ml::GuardrailConfig::fromEnv();
     std::vector<metrics::RunSpec> jobs;
     for (const Severity &sev : sweep) {
-        for (const char *policy_name : {"fcfs", "reactive", "ml"}) {
+        for (const char *policy_name : policies) {
             const std::string pname = policy_name;
             metrics::RunSpec job;
             job.configName = std::string(sev.label) + "/" + pname;
@@ -122,10 +129,15 @@ main(int argc, char **argv)
                 job.makePolicy = [] {
                     return std::make_unique<core::ReactivePolicy>();
                 };
-            } else {
+            } else if (pname == "ml") {
                 job.makePolicy = [&trained] {
                     return std::make_unique<ml::MlPowerPolicy>(
                         &trained.model);
+                };
+            } else {
+                job.makePolicy = [&trained, guard] {
+                    return std::make_unique<ml::GuardedPolicy>(
+                        &trained.model, ml::MlPolicyConfig{}, guard);
                 };
             }
             jobs.push_back(std::move(job));
@@ -140,18 +152,22 @@ main(int argc, char **argv)
 
     TextTable t({"severity", "policy", "thru (flits/cyc)",
                  "avg lat (cyc)", "energy/bit (pJ)", "retx", "drops",
-                 "timeouts"});
+                 "timeouts", "fb entries", "fb windows"});
+    std::uint64_t fallback_entries = 0;
     std::size_t idx = 0;
     for (const Severity &sev : sweep) {
-        for (const char *policy_name : {"fcfs", "reactive", "ml"}) {
+        for (const char *policy_name : policies) {
             const metrics::RunMetrics &m = result.jobs[idx++].metrics;
+            fallback_entries += m.policyFallbackEntries;
             t.addRow({sev.label, policy_name,
                       TextTable::num(m.throughputFlitsPerCycle, 3),
                       TextTable::num(m.avgLatencyCycles, 0),
                       TextTable::num(m.energyPerBitPj, 2),
                       std::to_string(m.retransmittedPackets),
                       std::to_string(m.droppedPackets),
-                      std::to_string(m.ackTimeouts)});
+                      std::to_string(m.ackTimeouts),
+                      std::to_string(m.policyFallbackEntries),
+                      std::to_string(m.policyFallbackWindows)});
         }
     }
     t.print(std::cout);
@@ -161,7 +177,14 @@ main(int argc, char **argv)
            "reservation-dropped packets at a latency cost; drops only "
            "appear when the retry budget is exhausted.  Power-scaling "
            "policies (reactive/ML) ride the fault-capped wavelength "
-           "ceiling instead of commanding dead laser banks.\n";
+           "ceiling instead of commanding dead laser banks.  The "
+           "fallback columns count guarded-ML routers abandoning the "
+           "model (entries) and the windows they spent on the reactive "
+           "fallback; they stay 0 for every other policy and for a "
+           "healthy, well-predicted fabric.\n";
+    std::cout << "\n[guardrails] total fallback engagements across the "
+                 "sweep: "
+              << fallback_entries << "\n";
 
     const metrics::SweepSummary &s = result.summary;
     std::cout << "\n[sweep] " << s.jobs << " jobs on " << s.threads

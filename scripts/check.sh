@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# CI entry point: build and run the tier-1 test suite under the
+# default toolchain, AddressSanitizer+UBSan and ThreadSanitizer.
+#
+#   scripts/check.sh            # all three flavours
+#   scripts/check.sh default    # just one (default | asan | tsan)
+#
+# Each flavour uses its own build directory (build-check-<flavour>) so
+# repeated runs are incremental and the user's ./build is untouched.
+# Exits non-zero on the first failing flavour.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${PEARL_CHECK_JOBS:-4}"
+FLAVOURS="${1:-default asan tsan}"
+
+run_flavour() {
+    flavour="$1"
+    dir="build-check-$flavour"
+    case "$flavour" in
+    default) sanitize=OFF ;;
+    asan) sanitize=ON ;;
+    tsan) sanitize=TSAN ;;
+    *)
+        echo "check.sh: unknown flavour '$flavour'" \
+             "(want default | asan | tsan)" >&2
+        exit 2
+        ;;
+    esac
+
+    echo "==> [$flavour] configure (PEARL_SANITIZE=$sanitize)"
+    cmake -B "$dir" -DPEARL_SANITIZE="$sanitize" \
+        -DPEARL_BUILD_BENCH=OFF -DPEARL_BUILD_EXAMPLES=OFF \
+        >"$dir.configure.log" 2>&1 || {
+        cat "$dir.configure.log"
+        exit 1
+    }
+
+    echo "==> [$flavour] build"
+    cmake --build "$dir" -j "$JOBS" >"$dir.build.log" 2>&1 || {
+        tail -n 100 "$dir.build.log"
+        exit 1
+    }
+
+    echo "==> [$flavour] ctest -L tier1"
+    ctest --test-dir "$dir" -L tier1 --output-on-failure
+}
+
+for f in $FLAVOURS; do
+    run_flavour "$f"
+done
+
+echo "==> all flavours passed: $FLAVOURS"

@@ -16,6 +16,7 @@
 
 #include "common/log.hpp"
 #include "cache/nmoesi.hpp"
+#include "cache/validate.hpp"
 
 namespace pearl {
 namespace cache {
@@ -43,14 +44,16 @@ class CacheArray
     /**
      * @param total_lines capacity in lines (must be divisible by ways).
      * @param ways        associativity.
+     * @throws ConfigError when the geometry is invalid (shared check
+     *         with cache::validate(HierarchyConfig)).
      */
     CacheArray(std::uint64_t total_lines, int ways)
-        : ways_(ways), numSets_(total_lines / static_cast<std::uint64_t>(ways))
+        : ways_(ways > 0 ? ways : 1),
+          numSets_(ways > 0 ? total_lines / static_cast<std::uint64_t>(ways)
+                            : 0)
     {
-        PEARL_ASSERT(ways > 0);
-        PEARL_ASSERT(numSets_ > 0);
-        PEARL_ASSERT(numSets_ * static_cast<std::uint64_t>(ways) ==
-                     total_lines, "total_lines must be ways-divisible");
+        throwIfInvalid(
+            validateArrayGeometry("CacheArray", total_lines, ways));
         // Every stock configuration has a power-of-two set count, so the
         // per-access set index can be a mask instead of a 64-bit modulo
         // (which sat high in the cycle-loop profile).  Odd set counts

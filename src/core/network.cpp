@@ -279,12 +279,46 @@ PearlNetwork::step()
         DecisionTrace decision;
         if (tracer_)
             obs.decision = &decision;
+        PolicyFeedback feedback;
+        obs.feedback = &feedback;
 
         // Clamp the policy's choice to what the surviving laser banks
         // can sustain: policies degrade instead of commanding (and
         // paying stabilisation for) unavailable states.
         const photonic::WlState next = photonic::clampToCap(
             policy_->nextState(obs), obs.wlCeiling);
+
+        // Guard-layer outcome: count fallback transitions/windows into
+        // the closing window's telemetry (before the collector snapshot
+        // and the reset below) and the run-wide stats.
+        if (feedback.guarded) {
+            sim::RouterTelemetry &t = router.telemetry();
+            if (feedback.enteredFallback) {
+                ++t.policyFallbackEntries;
+                stats_.noteFallbackEntry();
+            }
+            if (feedback.exitedFallback) {
+                ++t.policyFallbackExits;
+                stats_.noteFallbackExit();
+            }
+            if (feedback.fallbackActive) {
+                ++t.policyFallbackWindows;
+                stats_.noteFallbackWindow();
+            }
+            if (tracer_ &&
+                (feedback.enteredFallback || feedback.exitedFallback)) {
+                obs::TraceEvent fb;
+                fb.cat = obs::Category::Fault;
+                fb.name = "policy_fallback";
+                fb.ts = cycle_;
+                fb.tid = r + 1;
+                fb.arg("active", feedback.fallbackActive ? 1.0 : 0.0)
+                    .arg("window_error", feedback.windowError)
+                    .arg("clamped",
+                         feedback.clampedPrediction ? 1.0 : 0.0);
+                tracer_->record(std::move(fb));
+            }
+        }
 
         if (tracer_) {
             const sim::RouterTelemetry &t = router.telemetry();

@@ -43,6 +43,23 @@ struct DecisionTrace
     std::vector<double> features;
 };
 
+/**
+ * Guard-layer outcome of one decision, reported back to the network so
+ * fallback transitions land in telemetry, NetworkStats and the trace.
+ * Plain policies never touch it (`guarded` stays false); the guarded ML
+ * wrapper (ml::GuardedPolicy) fills it on every window.
+ */
+struct PolicyFeedback
+{
+    bool guarded = false;         //!< a guard layer produced this decision
+    bool fallbackActive = false;  //!< decision came from the fallback policy
+    bool enteredFallback = false; //!< guard tripped at this boundary
+    bool exitedFallback = false;  //!< guard recovered at this boundary
+    bool clampedPrediction = false; //!< raw prediction was insane
+    /** Windowed mean of the normalised prediction error in [0, 1]. */
+    double windowError = 0.0;
+};
+
 /** Everything a policy may look at when picking the next state. */
 struct WindowObservation
 {
@@ -66,6 +83,9 @@ struct WindowObservation
     /** Non-null only while tracing: policies record their prediction
      *  here for the wavelength trace events. */
     DecisionTrace *decision = nullptr;
+    /** Non-null when the network wants guard-layer outcomes (fallback
+     *  transitions) reported; plain policies ignore it. */
+    PolicyFeedback *feedback = nullptr;
 };
 
 /** Per-router wavelength-state selection policy. */

@@ -1,0 +1,156 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+
+#include "photonic/faults.hpp"
+#include "photonic/thermal.hpp"
+
+namespace pearl {
+namespace core {
+
+namespace {
+
+/** Probability fields must be finite and inside [0, 1]. */
+bool
+isProbability(double p)
+{
+    return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+}
+
+Validation
+validateFaults(const photonic::FaultConfig &f)
+{
+    if (!f.enabled)
+        return {};
+    if (f.bankMtbfCycles < 0.0 || !std::isfinite(f.bankMtbfCycles))
+        return configError("faults.bankMtbfCycles must be >= 0 cycles "
+                           "(0 disables bank failures), got ",
+                           f.bankMtbfCycles);
+    if (f.bankMtbfCycles > 0.0 &&
+        (f.bankMttrCycles <= 0.0 || !std::isfinite(f.bankMttrCycles)))
+        return configError("faults.bankMttrCycles must be > 0 cycles when "
+                           "bank failures are enabled, got ",
+                           f.bankMttrCycles);
+    if (!isProbability(f.baseBer))
+        return configError("faults.baseBer must be a probability in "
+                           "[0, 1], got ", f.baseBer);
+    if (!isProbability(f.unlockedBer))
+        return configError("faults.unlockedBer must be a probability in "
+                           "[0, 1], got ", f.unlockedBer);
+    if (f.berPerTrimGapC < 0.0 || !std::isfinite(f.berPerTrimGapC))
+        return configError("faults.berPerTrimGapC must be >= 0, got ",
+                           f.berPerTrimGapC);
+    if (!isProbability(f.reservationDropRate))
+        return configError("faults.reservationDropRate must be a "
+                           "probability in [0, 1], got ",
+                           f.reservationDropRate);
+    return {};
+}
+
+} // namespace
+
+Validation
+validate(const PearlConfig &cfg)
+{
+    if (cfg.numClusters <= 0)
+        return configError("numClusters must be > 0, got ",
+                           cfg.numClusters);
+    if (cfg.l3Node < 0 || cfg.l3Node >= cfg.numNodes())
+        return configError("l3Node must be a node id in [0, ",
+                           cfg.numNodes() - 1, "], got ", cfg.l3Node);
+    if (cfg.cpuInjectSlots <= 0 || cfg.gpuInjectSlots <= 0)
+        return configError("injection buffers must be > 0 slots, got "
+                           "cpuInjectSlots=", cfg.cpuInjectSlots,
+                           " gpuInjectSlots=", cfg.gpuInjectSlots);
+    if (cfg.rxSlotsPerClass <= 0)
+        return configError("rxSlotsPerClass must be > 0, got ",
+                           cfg.rxSlotsPerClass);
+    if (cfg.reservationCycles < 0 || cfg.linkLatencyCycles < 0)
+        return configError("link timing must be >= 0 cycles, got "
+                           "reservationCycles=", cfg.reservationCycles,
+                           " linkLatencyCycles=", cfg.linkLatencyCycles);
+    if (cfg.ejectFlitsPerCycle <= 0)
+        return configError("ejectFlitsPerCycle must be > 0, got ",
+                           cfg.ejectFlitsPerCycle);
+    if (cfg.l3WaveguideGroup <= 0)
+        return configError("l3WaveguideGroup must be > 0 waveguides, "
+                           "got ", cfg.l3WaveguideGroup);
+    if (cfg.reservationWindow == 0)
+        return configError("reservationWindow must be > 0 cycles — the "
+                           "power policies run at window boundaries");
+    if (cfg.windowOffsetPerRouter < 0)
+        return configError("windowOffsetPerRouter must be >= 0, got ",
+                           cfg.windowOffsetPerRouter);
+    if (!(cfg.cycleSeconds > 0.0) || !std::isfinite(cfg.cycleSeconds))
+        return configError("cycleSeconds must be > 0, got ",
+                           cfg.cycleSeconds);
+    if (cfg.txRings <= 0 || cfg.rxRings <= 0)
+        return configError("ring counts must be > 0, got txRings=",
+                           cfg.txRings, " rxRings=", cfg.rxRings);
+    if (cfg.routerStaticW < 0.0 || !std::isfinite(cfg.routerStaticW))
+        return configError("routerStaticW must be >= 0 watts, got ",
+                           cfg.routerStaticW);
+
+    // End-to-end recovery knobs (only consulted when faults are on, but
+    // a nonsense value is a config bug either way).
+    if (cfg.retryLimit < 0)
+        return configError("retryLimit must be >= 0 attempts, got ",
+                           cfg.retryLimit);
+    if (cfg.faults.enabled) {
+        if (cfg.ackTimeoutCycles <=
+            static_cast<std::uint64_t>(cfg.linkLatencyCycles))
+            return configError(
+                "ackTimeoutCycles (", cfg.ackTimeoutCycles,
+                ") must exceed linkLatencyCycles (",
+                cfg.linkLatencyCycles,
+                ") or every delivery times out spuriously");
+        if (cfg.retxBackoffBase == 0)
+            return configError("retxBackoffBase must be > 0 cycles");
+        if (cfg.retxBackoffMax < cfg.retxBackoffBase)
+            return configError("retxBackoffMax (", cfg.retxBackoffMax,
+                               ") must be >= retxBackoffBase (",
+                               cfg.retxBackoffBase, ")");
+    }
+    if (Validation f = validateFaults(cfg.faults); !f)
+        return f;
+    return {};
+}
+
+Validation
+validate(const DbaConfig &cfg)
+{
+    if (!(cfg.stepFraction > 0.0) || cfg.stepFraction > 0.5 ||
+        !std::isfinite(cfg.stepFraction))
+        return configError("dba.stepFraction must be in (0, 0.5], got ",
+                           cfg.stepFraction);
+    if (!std::isfinite(cfg.cpuUpperBound) || cfg.cpuUpperBound < 0.0 ||
+        cfg.cpuUpperBound > 1.0)
+        return configError("dba.cpuUpperBound must be an occupancy "
+                           "fraction in [0, 1], got ", cfg.cpuUpperBound);
+    if (!std::isfinite(cfg.gpuUpperBound) || cfg.gpuUpperBound < 0.0 ||
+        cfg.gpuUpperBound > 1.0)
+        return configError("dba.gpuUpperBound must be an occupancy "
+                           "fraction in [0, 1], got ", cfg.gpuUpperBound);
+    return {};
+}
+
+Validation
+validate(const ReactiveThresholds &t)
+{
+    for (double v : {t.upper, t.midUpper, t.midLower, t.lower}) {
+        if (!std::isfinite(v) || v < 0.0 || v > 2.0)
+            return configError("reactive thresholds must be beta_total "
+                               "values in [0, 2], got ", v);
+    }
+    if (!(t.upper > t.midUpper && t.midUpper > t.midLower &&
+          t.midLower > t.lower))
+        return configError(
+            "reactive thresholds must descend strictly "
+            "(upper > midUpper > midLower > lower), got ",
+            t.upper, " / ", t.midUpper, " / ", t.midLower, " / ",
+            t.lower);
+    return {};
+}
+
+} // namespace core
+} // namespace pearl

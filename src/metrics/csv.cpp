@@ -4,42 +4,122 @@
 #include <limits>
 #include <sstream>
 
+#include "common/env.hpp"
+
 namespace pearl {
 namespace metrics {
+
+namespace {
+
+/**
+ * The one canonical field list.  Both directions — rendering
+ * (metricFields) and journal restore (parseMetricCells) — walk this
+ * visitor, so the schema cannot diverge between them.  `f` must expose
+ * integer(name, u64&) and real(name, double&) overload points.
+ *
+ * The policy-fallback counters (RunMetrics::policyFallback*) are
+ * deliberately NOT part of the canonical schema: the checked-in golden
+ * CSVs and every PEARL_METRICS_DUMP consumer keep their byte-exact
+ * column set, and the counters are zero except under the guarded ML
+ * policy (they are published to the MetricsRegistry and printed by the
+ * fault-sweep example instead).
+ */
+template <typename F>
+void
+visitMetricFields(RunMetrics &m, F &&f)
+{
+    f.integer("cycles", m.cycles);
+    f.integer("deliveredPackets", m.deliveredPackets);
+    f.integer("deliveredFlits", m.deliveredFlits);
+    f.integer("deliveredBits", m.deliveredBits);
+    f.integer("cpuPackets", m.cpuPackets);
+    f.integer("gpuPackets", m.gpuPackets);
+    f.real("throughputFlitsPerCycle", m.throughputFlitsPerCycle);
+    f.real("throughputGbps", m.throughputGbps);
+    f.real("avgLatencyCycles", m.avgLatencyCycles);
+    f.real("cpuLatencyCycles", m.cpuLatencyCycles);
+    f.real("gpuLatencyCycles", m.gpuLatencyCycles);
+    f.real("totalEnergyJ", m.totalEnergyJ);
+    f.real("energyPerBitPj", m.energyPerBitPj);
+    f.real("laserPowerW", m.laserPowerW);
+    f.integer("corruptedPackets", m.corruptedPackets);
+    f.integer("reservationDrops", m.reservationDrops);
+    f.integer("retransmittedPackets", m.retransmittedPackets);
+    f.integer("ackTimeouts", m.ackTimeouts);
+    f.integer("droppedPackets", m.droppedPackets);
+    f.integer("thermalUnlockedCycles", m.thermalUnlockedCycles);
+    for (std::size_t s = 0; s < m.residency.size(); ++s)
+        f.real("residency" + std::to_string(s), m.residency[s]);
+}
+
+/** Visitor collecting (name, value) descriptors for rendering. */
+struct CollectFields
+{
+    std::vector<MetricField> fields;
+
+    void
+    integer(const char *name, std::uint64_t &v)
+    {
+        fields.push_back({name, true, v, 0.0});
+    }
+
+    void
+    real(const std::string &name, double &v)
+    {
+        fields.push_back({name, false, 0, v});
+    }
+};
+
+/** Visitor assigning parsed cells back into a RunMetrics. */
+struct AssignFields
+{
+    const std::vector<std::string> &cells;
+    std::size_t next = 0;
+    bool ok = true;
+
+    void
+    integer(const char *, std::uint64_t &v)
+    {
+        if (!ok || next >= cells.size() ||
+            !parseU64(cells[next], v))
+            ok = false;
+        ++next;
+    }
+
+    void
+    real(const std::string &, double &v)
+    {
+        if (!ok || next >= cells.size() ||
+            !parseDouble(cells[next], v))
+            ok = false;
+        ++next;
+    }
+};
+
+} // namespace
 
 std::vector<MetricField>
 metricFields(const RunMetrics &m)
 {
-    std::vector<MetricField> f;
-    auto addU = [&f](const char *n, std::uint64_t v) {
-        f.push_back({n, true, v, 0.0});
-    };
-    auto addD = [&f](const std::string &n, double v) {
-        f.push_back({n, false, 0, v});
-    };
-    addU("cycles", m.cycles);
-    addU("deliveredPackets", m.deliveredPackets);
-    addU("deliveredFlits", m.deliveredFlits);
-    addU("deliveredBits", m.deliveredBits);
-    addU("cpuPackets", m.cpuPackets);
-    addU("gpuPackets", m.gpuPackets);
-    addD("throughputFlitsPerCycle", m.throughputFlitsPerCycle);
-    addD("throughputGbps", m.throughputGbps);
-    addD("avgLatencyCycles", m.avgLatencyCycles);
-    addD("cpuLatencyCycles", m.cpuLatencyCycles);
-    addD("gpuLatencyCycles", m.gpuLatencyCycles);
-    addD("totalEnergyJ", m.totalEnergyJ);
-    addD("energyPerBitPj", m.energyPerBitPj);
-    addD("laserPowerW", m.laserPowerW);
-    addU("corruptedPackets", m.corruptedPackets);
-    addU("reservationDrops", m.reservationDrops);
-    addU("retransmittedPackets", m.retransmittedPackets);
-    addU("ackTimeouts", m.ackTimeouts);
-    addU("droppedPackets", m.droppedPackets);
-    addU("thermalUnlockedCycles", m.thermalUnlockedCycles);
-    for (std::size_t s = 0; s < m.residency.size(); ++s)
-        addD("residency" + std::to_string(s), m.residency[s]);
-    return f;
+    CollectFields collect;
+    // The visitor takes mutable refs (shared with the parser); rendering
+    // only reads them.
+    visitMetricFields(const_cast<RunMetrics &>(m), collect);
+    return std::move(collect.fields);
+}
+
+bool
+parseMetricCells(const std::vector<std::string> &cells, RunMetrics &out)
+{
+    RunMetrics parsed;
+    AssignFields assign{cells};
+    visitMetricFields(parsed, assign);
+    if (!assign.ok || assign.next != cells.size())
+        return false;
+    parsed.configName = out.configName;
+    parsed.pairLabel = out.pairLabel;
+    out = parsed;
+    return true;
 }
 
 std::string

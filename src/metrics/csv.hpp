@@ -53,6 +53,17 @@ std::string csvRow(const std::vector<std::string> &key_cells,
  *  commas). */
 std::vector<std::string> splitCsvLine(const std::string &line);
 
+/**
+ * Parse the metric cells of one canonical row (everything after the key
+ * columns) back into `out` — the exact inverse of csvRow's field
+ * rendering.  Doubles round-trip bit-exactly (max_digits10).  Used by
+ * the sweep journal to restore completed jobs on resume.
+ * @return false on a column-count or number-format mismatch (stale or
+ *         corrupt journal rows are skipped, never trusted).
+ */
+bool parseMetricCells(const std::vector<std::string> &cells,
+                      RunMetrics &out);
+
 } // namespace metrics
 } // namespace pearl
 

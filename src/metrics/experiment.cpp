@@ -128,6 +128,9 @@ struct Snapshot
     std::uint64_t timeouts = 0;
     std::uint64_t dropped = 0;
     std::uint64_t unlockedCycles = 0;
+    std::uint64_t fallbackEntries = 0;
+    std::uint64_t fallbackExits = 0;
+    std::uint64_t fallbackWindows = 0;
 
     static Snapshot
     of(const sim::NetworkStats &s, double energy, double laser)
@@ -146,6 +149,9 @@ struct Snapshot
         snap.timeouts = s.ackTimeouts();
         snap.dropped = s.droppedPackets();
         snap.unlockedCycles = s.thermalUnlockedCycles();
+        snap.fallbackEntries = s.policyFallbackEntries();
+        snap.fallbackExits = s.policyFallbackExits();
+        snap.fallbackWindows = s.policyFallbackWindows();
         return snap;
     }
 };
@@ -185,6 +191,12 @@ fillCommon(RunMetrics &m, const sim::NetworkStats &stats,
     m.droppedPackets = stats.droppedPackets() - warm.dropped;
     m.thermalUnlockedCycles =
         stats.thermalUnlockedCycles() - warm.unlockedCycles;
+    m.policyFallbackEntries =
+        stats.policyFallbackEntries() - warm.fallbackEntries;
+    m.policyFallbackExits =
+        stats.policyFallbackExits() - warm.fallbackExits;
+    m.policyFallbackWindows =
+        stats.policyFallbackWindows() - warm.fallbackWindows;
 }
 
 } // namespace
@@ -338,6 +350,9 @@ average(const std::vector<RunMetrics> &runs, const std::string &label)
         avg.ackTimeouts += r.ackTimeouts;
         avg.droppedPackets += r.droppedPackets;
         avg.thermalUnlockedCycles += r.thermalUnlockedCycles;
+        avg.policyFallbackEntries += r.policyFallbackEntries;
+        avg.policyFallbackExits += r.policyFallbackExits;
+        avg.policyFallbackWindows += r.policyFallbackWindows;
         for (std::size_t s = 0; s < avg.residency.size(); ++s)
             avg.residency[s] += r.residency[s] / n;
     }

@@ -73,6 +73,13 @@ struct RunMetrics
     std::uint64_t droppedPackets = 0;
     std::uint64_t thermalUnlockedCycles = 0;
 
+    // Guard-layer counters (nonzero only under ml::GuardedPolicy).
+    // Deliberately outside the canonical CSV schema — see
+    // metrics/csv.cpp — so goldens and dump consumers are unaffected.
+    std::uint64_t policyFallbackEntries = 0;
+    std::uint64_t policyFallbackExits = 0;
+    std::uint64_t policyFallbackWindows = 0;
+
     /** Time share per wavelength state, WL8..WL64 (photonic only). */
     std::array<double, photonic::kNumWlStates> residency = {};
 };

@@ -1,6 +1,6 @@
 /**
  * @file
- * Parallel sweep engine with deterministic replay.
+ * Parallel sweep engine with deterministic replay and fault tolerance.
  *
  * Every figure/table bench and example runs a (configuration x
  * benchmark-pair) grid of independent `metrics::runExperiment`-style
@@ -19,6 +19,25 @@
  * `std::thread::hardware_concurrency()`; the `PEARL_SWEEP_THREADS`
  * environment variable overrides both, and `1` forces the serial path
  * (no worker threads are spawned at all).
+ *
+ * Fault tolerance (DESIGN.md "Resilience"):
+ *
+ *  - every spec is *validated* before it runs; a malformed config
+ *    becomes a structured per-job failure (ErrorCode::InvalidConfig)
+ *    with an actionable message, never UB or an abort;
+ *  - a throwing job is captured as a structured failure in its result
+ *    slot; `cancelOnError = false` lets the rest of the grid finish;
+ *  - `retryLimit` re-runs a failed job up to N more times with the
+ *    *identical* derived seed (deterministic replay), so a transient
+ *    host-level failure — an OOM kill of one worker, a flaky filesystem
+ *    under the trace sink — does not cost the sweep.  Validation
+ *    failures are deterministic and are never retried;
+ *  - `journalPath` streams every completed job's RunMetrics row to an
+ *    append-only journal (flushed per job, so a crash loses at most the
+ *    in-flight jobs), and `resume = true` restores finished jobs from
+ *    that journal instead of re-running them.  Restored metrics are
+ *    byte-identical to the original run's (the journal stores the
+ *    canonical CSV row, whose max_digits10 doubles round-trip exactly).
  */
 
 #ifndef PEARL_METRICS_SWEEP_HPP
@@ -30,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "electrical/cmesh.hpp"
 #include "metrics/experiment.hpp"
 #include "obs/trace.hpp"
@@ -92,12 +112,41 @@ struct SweepOptions
     /** Skip jobs that have not started once any job fails. */
     bool cancelOnError = true;
     /**
+     * Extra attempts for a failed job, each with the identical
+     * effective seed (deterministic replay).  Validation failures are
+     * never retried.  The PEARL_SWEEP_RETRY environment variable sets
+     * this through fromEnv().
+     */
+    int retryLimit = 0;
+    /**
+     * Crash-safe checkpointing: when non-empty, every completed job's
+     * canonical RunMetrics CSV row is appended (and flushed) to this
+     * file.  PEARL_SWEEP_JOURNAL sets it through fromEnv().
+     */
+    std::string journalPath;
+    /**
+     * Resume from an existing journal at `journalPath`: jobs whose
+     * (index, config, pair, seed) row is present are restored without
+     * re-running — the final metrics (and any CSV written from them)
+     * are byte-identical to an uninterrupted run.  PEARL_SWEEP_RESUME
+     * sets it through fromEnv().
+     */
+    bool resume = false;
+    /**
      * Observability plane: when `trace.enabled`, every descriptor-path
      * job gets its own Tracer writing to `jobTracePath(trace, i, ...)`
      * — one file per job, so trace bytes are independent of the thread
      * count.  Disabled (the default) costs nothing.
      */
     obs::TraceOptions trace;
+
+    /**
+     * Defaults + the PEARL_SWEEP_RETRY / PEARL_SWEEP_JOURNAL /
+     * PEARL_SWEEP_RESUME / PEARL_TRACE* environment knobs (strict
+     * warn-and-fallback parsing).  Thread count is resolved separately
+     * (resolveThreads), preserving existing precedence.
+     */
+    static SweepOptions fromEnv();
 };
 
 /** Outcome of one job. */
@@ -109,6 +158,9 @@ struct SweepJobResult
     PhaseTimings phases;        //!< build/warmup/run/collect split
     bool ok = false;
     bool skipped = false;       //!< cancelled before it started
+    bool resumed = false;       //!< restored from the journal, not run
+    int attempts = 0;           //!< executions performed (retries incl.)
+    ErrorCode errorCode = ErrorCode::None; //!< failure class when !ok
     std::string error;          //!< failure reason when !ok
 };
 
@@ -118,6 +170,8 @@ struct SweepSummary
     std::size_t jobs = 0;
     std::size_t failed = 0;
     std::size_t skipped = 0;
+    std::size_t resumed = 0;   //!< jobs restored from the journal
+    std::size_t retries = 0;   //!< extra attempts across all jobs
     unsigned threads = 1;
     double wallSeconds = 0.0;          //!< whole-sweep wall time
     double aggregateJobSeconds = 0.0;  //!< sum of per-job wall times
@@ -165,10 +219,20 @@ struct SweepResult
 };
 
 /**
+ * Validate a run descriptor before any simulation state is built: the
+ * run options, the fabric-specific network config (PearlConfig + DBA,
+ * or CmeshConfig), the cache hierarchy and the policy factory.  Custom
+ * jobs validate only the shared options — the custom callable owns the
+ * rest.  Returns an actionable message naming the offending field.
+ */
+Validation validate(const RunSpec &spec);
+
+/**
  * Execute one spec's simulation (descriptor or custom path) with the
- * given effective seed.  The descriptor path honours the spec's
- * RunOptions sinks (tracer/registry/phases); this is the single run
- * engine beneath both SweepRunner and the metrics::Runner facade.
+ * given effective seed.  The descriptor path validates the spec first
+ * (throwing ConfigError with the validation message) and honours the
+ * spec's RunOptions sinks (tracer/registry/phases); this is the single
+ * run engine beneath both SweepRunner and the metrics::Runner facade.
  */
 RunMetrics executeSpec(const RunSpec &spec, std::uint64_t seed);
 

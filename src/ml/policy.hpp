@@ -69,6 +69,8 @@ class MlPowerPolicy : public core::PowerPolicy
 
     const char *name() const override { return "ml"; }
 
+    const MlPolicyConfig &config() const { return cfg_; }
+
     /**
      * Equation 7: smallest state whose usable window capacity covers the
      * predicted injected packets.  Shared with the offline evaluation of

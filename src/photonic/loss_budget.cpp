@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/expected.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
 
@@ -58,7 +59,13 @@ LossBudget::requiredLaserOpticalW() const
 double
 LossBudget::electricalLaserW(WlState state, double wall_plug_efficiency) const
 {
-    PEARL_ASSERT(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0);
+    if (!(wall_plug_efficiency > 0.0) || wall_plug_efficiency > 1.0) {
+        throw ConfigError(Error(
+            ErrorCode::InvalidArgument,
+            detail::formatMessage(
+                "wall-plug efficiency must be in (0, 1], got ",
+                wall_plug_efficiency)));
+    }
     const double per_wavelength =
         requiredLaserOpticalW() / wall_plug_efficiency;
     return per_wavelength * static_cast<double>(wavelengths(state));
@@ -67,7 +74,13 @@ LossBudget::electricalLaserW(WlState state, double wall_plug_efficiency) const
 double
 LossBudget::calibratedEfficiency(double paper_full_state_w) const
 {
-    PEARL_ASSERT(paper_full_state_w > 0.0);
+    if (!(paper_full_state_w > 0.0)) {
+        throw ConfigError(Error(
+            ErrorCode::InvalidArgument,
+            detail::formatMessage(
+                "calibration needs a full-state laser power > 0 W, "
+                "got ", paper_full_state_w)));
+    }
     const double optical_total = requiredLaserOpticalW() * 64.0;
     return optical_total / paper_full_state_w;
 }

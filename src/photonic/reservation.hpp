@@ -19,6 +19,7 @@
 
 #include <cmath>
 
+#include "common/expected.hpp"
 #include "common/log.hpp"
 
 namespace pearl {
@@ -36,13 +37,36 @@ struct ReservationConfig
     double networkFreqGhz = 2.0;
 };
 
+/** Validate a reservation-channel configuration (every field feeds the
+ *  log2 sizing formula, so zeros/negatives produce garbage sizes). */
+inline Validation
+validate(const ReservationConfig &cfg)
+{
+    if (cfg.numRouters <= 0 || cfg.numL3Routers <= 0)
+        return configError("reservation router counts must be > 0, got "
+                           "numRouters=", cfg.numRouters,
+                           " numL3Routers=", cfg.numL3Routers);
+    if (cfg.cpuPacketTypes <= 0 || cfg.gpuPacketTypes <= 0 ||
+        cfg.allocationLevels <= 0)
+        return configError("reservation packet-type/allocation counts "
+                           "must be > 0, got cpu=", cfg.cpuPacketTypes,
+                           " gpu=", cfg.gpuPacketTypes, " levels=",
+                           cfg.allocationLevels);
+    if (!(cfg.dataRateGbps > 0.0) || !(cfg.networkFreqGhz > 0.0))
+        return configError("reservation dataRateGbps and networkFreqGhz "
+                           "must be > 0, got ", cfg.dataRateGbps,
+                           " Gbps / ", cfg.networkFreqGhz, " GHz");
+    return {};
+}
+
 /** Sizing calculations for the reservation waveguide. */
 class ReservationChannel
 {
   public:
+    /** @throws ConfigError when `cfg` fails validation. */
     explicit ReservationChannel(const ReservationConfig &cfg = {}) : cfg_(cfg)
     {
-        PEARL_ASSERT(cfg_.numRouters > 0 && cfg_.numL3Routers > 0);
+        throwIfInvalid(validate(cfg_));
     }
 
     /** Reservation packet size in bits (the paper's formula, rounded up). */
@@ -81,7 +105,13 @@ class ReservationChannel
     int
     latencyCycles(int wavelengths) const
     {
-        PEARL_ASSERT(wavelengths > 0);
+        if (wavelengths <= 0) {
+            throw ConfigError(Error(
+                ErrorCode::InvalidArgument,
+                detail::formatMessage(
+                    "reservation latency needs wavelengths > 0, got ",
+                    wavelengths)));
+        }
         const double per_cycle =
             bitsPerWavelengthPerCycle() * wavelengths;
         const int broadcast = static_cast<int>(

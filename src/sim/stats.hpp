@@ -80,6 +80,17 @@ class NetworkStats
         (void)pkt;
     }
 
+    // Guard-layer accounting (ml::GuardedPolicy) -------------------------
+
+    /** The guard tripped: a router switched to the fallback policy. */
+    void noteFallbackEntry() { ++policyFallbackEntries_; }
+
+    /** The guard recovered: a router returned to the ML policy. */
+    void noteFallbackExit() { ++policyFallbackExits_; }
+
+    /** One reservation window decided by the fallback policy. */
+    void noteFallbackWindow() { ++policyFallbackWindows_; }
+
     /** One cycle with router `router`'s ring bank out of thermal lock. */
     void
     noteThermalUnlocked(int router)
@@ -99,6 +110,18 @@ class NetworkStats
         return retransmittedPackets_;
     }
     std::uint64_t droppedPackets() const { return droppedPackets_; }
+    std::uint64_t policyFallbackEntries() const
+    {
+        return policyFallbackEntries_;
+    }
+    std::uint64_t policyFallbackExits() const
+    {
+        return policyFallbackExits_;
+    }
+    std::uint64_t policyFallbackWindows() const
+    {
+        return policyFallbackWindows_;
+    }
 
     /** Total router-cycles spent out of thermal lock, network-wide. */
     std::uint64_t thermalUnlockedCycles() const
@@ -206,6 +229,12 @@ class NetworkStats
         reg.counter(prefix + ".dropped_packets") += droppedPackets_;
         reg.counter(prefix + ".thermal_unlocked_cycles") +=
             thermalUnlockedCycles_;
+        reg.counter(prefix + ".policy_fallback_entries") +=
+            policyFallbackEntries_;
+        reg.counter(prefix + ".policy_fallback_exits") +=
+            policyFallbackExits_;
+        reg.counter(prefix + ".policy_fallback_windows") +=
+            policyFallbackWindows_;
         reg.gauge(prefix + ".avg_latency_cycles") = latency_.mean();
         obs::HistogramSummary &h =
             reg.histogram(prefix + ".latency_cycles");
@@ -234,6 +263,8 @@ class NetworkStats
         ackTimeouts_ = retransmittedPackets_ = droppedPackets_ = 0;
         thermalUnlockedCycles_ = 0;
         routerUnlockedCycles_.clear();
+        policyFallbackEntries_ = policyFallbackExits_ = 0;
+        policyFallbackWindows_ = 0;
     }
 
   private:
@@ -258,6 +289,9 @@ class NetworkStats
     std::uint64_t droppedPackets_ = 0;
     std::uint64_t thermalUnlockedCycles_ = 0;
     std::vector<std::uint64_t> routerUnlockedCycles_;
+    std::uint64_t policyFallbackEntries_ = 0;
+    std::uint64_t policyFallbackExits_ = 0;
+    std::uint64_t policyFallbackWindows_ = 0;
 };
 
 } // namespace sim

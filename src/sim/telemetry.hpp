@@ -59,6 +59,14 @@ struct RouterTelemetry
     std::uint64_t packetsDropped = 0;     //!< retry budget exhausted here
     std::uint64_t outOfLockCycles = 0;    //!< ring bank out of thermal lock
 
+    // Guard-layer accounting (ml::GuardedPolicy): fallback transitions
+    // and windows decided by the fallback policy at this router.  Like
+    // every window counter these reset at each boundary; run totals
+    // accumulate in NetworkStats.
+    std::uint64_t policyFallbackEntries = 0; //!< guard tripped here
+    std::uint64_t policyFallbackExits = 0;   //!< guard recovered here
+    std::uint64_t policyFallbackWindows = 0; //!< windows under fallback
+
     // Per-cycle DBA allocation shares accumulated over the window, for
     // the observability plane (mean split = sum / dbaCycles).  Not part
     // of the 30 Table III features, so the ML pipeline is unaffected.
@@ -94,6 +102,12 @@ struct RouterTelemetry
         reg.counter(prefix + ".corrupted_arrivals") += corruptedArrivals;
         reg.counter(prefix + ".packets_dropped") += packetsDropped;
         reg.counter(prefix + ".out_of_lock_cycles") += outOfLockCycles;
+        reg.counter(prefix + ".policy_fallback_entries") +=
+            policyFallbackEntries;
+        reg.counter(prefix + ".policy_fallback_exits") +=
+            policyFallbackExits;
+        reg.counter(prefix + ".policy_fallback_windows") +=
+            policyFallbackWindows;
         reg.gauge(prefix + ".wavelengths") =
             static_cast<double>(wavelengths);
         const double cycles =

@@ -7,11 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "metrics/sweep.hpp"
@@ -374,6 +380,231 @@ TEST_F(SweepTest, SummaryCapturesPerJobWallTime)
     EXPECT_DOUBLE_EQ(result.summary.aggregateJobSeconds, aggregate);
     EXPECT_GT(result.summary.wallSeconds, 0.0);
     EXPECT_GE(result.summary.speedup(), 0.5);
+}
+
+// Fault tolerance --------------------------------------------------------
+
+TEST_F(SweepTest, ValidationFailureIsStructuredAndNeverRetried)
+{
+    traffic::BenchmarkSuite suite;
+    auto jobs = determinismJobs(suite);
+    jobs.resize(2);
+    jobs[0].configName = "bad-window";
+    jobs[0].pearl.reservationWindow = 0; // deterministic config error
+
+    SweepOptions so;
+    so.threads = 1;
+    so.retryLimit = 3;   // must NOT be spent on a config error
+    so.cancelOnError = false;
+    const SweepResult result = SweepRunner(so).run(jobs);
+
+    EXPECT_FALSE(result.jobs[0].ok);
+    EXPECT_EQ(result.jobs[0].errorCode, ErrorCode::InvalidConfig);
+    EXPECT_EQ(result.jobs[0].attempts, 1);
+    EXPECT_NE(result.jobs[0].error.find("reservationWindow"),
+              std::string::npos);
+    EXPECT_NE(result.jobs[0].error.find("bad-window"),
+              std::string::npos);
+    EXPECT_TRUE(result.jobs[1].ok);
+    EXPECT_EQ(result.summary.retries, 0u);
+    EXPECT_EQ(result.summary.failed, 1u);
+}
+
+TEST_F(SweepTest, RetryReplaysTransientFailureWithIdenticalSeed)
+{
+    // Job 1 throws on its first two attempts, then succeeds; the other
+    // jobs are clean.  The sweep must retry with the *same* derived
+    // seed each time and report the attempt accounting.
+    auto failures = std::make_shared<std::atomic<int>>(0);
+    auto seeds = std::make_shared<std::vector<std::uint64_t>>();
+
+    std::vector<RunSpec> jobs;
+    for (int i = 0; i < 3; ++i) {
+        RunSpec job;
+        job.configName = "r" + std::to_string(i);
+        job.custom = [i, failures, seeds](const RunSpec &,
+                                          std::uint64_t seed) {
+            if (i == 1) {
+                seeds->push_back(seed);
+                if (failures->fetch_add(1) < 2)
+                    throw std::runtime_error("transient I/O glitch");
+            }
+            RunMetrics m;
+            m.deliveredPackets = seed; // proves the seed reached us
+            return m;
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    SweepOptions so;
+    so.threads = 1;
+    so.baseSeed = 42;
+    so.retryLimit = 2;
+    const SweepResult result = SweepRunner(so).run(jobs);
+
+    ASSERT_TRUE(result.allOk());
+    EXPECT_EQ(result.jobs[1].attempts, 3);
+    EXPECT_EQ(result.summary.retries, 2u);
+    ASSERT_EQ(seeds->size(), 3u);
+    EXPECT_EQ((*seeds)[0], deriveSeed(42, 1));
+    EXPECT_EQ((*seeds)[1], (*seeds)[0]);
+    EXPECT_EQ((*seeds)[2], (*seeds)[0]);
+    EXPECT_EQ(result.jobs[0].attempts, 1);
+    EXPECT_EQ(result.jobs[2].attempts, 1);
+}
+
+TEST_F(SweepTest, RetryBudgetExhaustedReportsStructuredFailure)
+{
+    std::vector<RunSpec> jobs(1);
+    jobs[0].configName = "always-fails";
+    jobs[0].custom = [](const RunSpec &, std::uint64_t) -> RunMetrics {
+        throw std::runtime_error("persistent failure");
+    };
+    SweepOptions so;
+    so.threads = 1;
+    so.retryLimit = 2;
+    const SweepResult result = SweepRunner(so).run(jobs);
+    EXPECT_FALSE(result.jobs[0].ok);
+    EXPECT_EQ(result.jobs[0].attempts, 3);
+    EXPECT_EQ(result.jobs[0].errorCode, ErrorCode::JobFailed);
+    EXPECT_NE(result.jobs[0].error.find("persistent"),
+              std::string::npos);
+    EXPECT_EQ(result.summary.retries, 2u);
+}
+
+/** RAII temp journal path, removed on destruction. */
+struct TempJournal
+{
+    std::string path;
+    explicit TempJournal(const char *name)
+        : path(::testing::TempDir() + "/" + name)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempJournal() { std::remove(path.c_str()); }
+};
+
+TEST_F(SweepTest, ResumeRestoresJournaledJobsBitIdentical)
+{
+    traffic::BenchmarkSuite suite;
+    auto jobs = determinismJobs(suite);
+    jobs.resize(4);
+
+    TempJournal journal("sweep_resume.csv");
+    SweepOptions so;
+    so.threads = 1;
+    so.baseSeed = 12345;
+    so.journalPath = journal.path;
+    const SweepResult full = SweepRunner(so).run(jobs);
+    ASSERT_TRUE(full.allOk());
+
+    // Simulate a crash after two jobs: truncate the journal to the
+    // header plus the first two rows.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(journal.path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 5u); // header + 4 rows
+    {
+        std::ofstream out(journal.path, std::ios::trunc);
+        for (std::size_t i = 0; i < 3; ++i)
+            out << lines[i] << "\n";
+    }
+
+    so.resume = true;
+    const SweepResult resumed = SweepRunner(so).run(jobs);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_EQ(resumed.summary.resumed, 2u);
+    int restored = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        restored += resumed.jobs[i].resumed ? 1 : 0;
+        EXPECT_EQ(resumed.jobs[i].seed, full.jobs[i].seed);
+        expectBitIdentical(resumed.jobs[i].metrics,
+                           full.jobs[i].metrics);
+    }
+    EXPECT_EQ(restored, 2);
+
+    // Second resume: the journal now holds every job again, so nothing
+    // re-runs and the results are still bit-identical.
+    const SweepResult all_restored = SweepRunner(so).run(jobs);
+    ASSERT_TRUE(all_restored.allOk());
+    EXPECT_EQ(all_restored.summary.resumed, 4u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(all_restored.jobs[i].resumed);
+        EXPECT_EQ(all_restored.jobs[i].attempts, 0);
+        expectBitIdentical(all_restored.jobs[i].metrics,
+                           full.jobs[i].metrics);
+    }
+}
+
+TEST_F(SweepTest, StaleJournalEntriesAreRerunNotTrusted)
+{
+    traffic::BenchmarkSuite suite;
+    auto jobs = determinismJobs(suite);
+    jobs.resize(2);
+
+    TempJournal journal("sweep_stale.csv");
+    SweepOptions so;
+    so.threads = 1;
+    so.baseSeed = 12345;
+    so.journalPath = journal.path;
+    const SweepResult full = SweepRunner(so).run(jobs);
+    ASSERT_TRUE(full.allOk());
+
+    // A different base seed invalidates every journal row (the stored
+    // seed no longer matches the derived one): everything re-runs.
+    so.resume = true;
+    so.baseSeed = 999;
+    const SweepResult rerun = SweepRunner(so).run(jobs);
+    ASSERT_TRUE(rerun.allOk());
+    EXPECT_EQ(rerun.summary.resumed, 0u);
+    for (const auto &j : rerun.jobs)
+        EXPECT_FALSE(j.resumed);
+}
+
+TEST_F(SweepTest, ResumeRefusesAForeignJournalFile)
+{
+    traffic::BenchmarkSuite suite;
+    auto jobs = determinismJobs(suite);
+    jobs.resize(1);
+
+    TempJournal journal("not_a_journal.csv");
+    {
+        std::ofstream out(journal.path);
+        out << "these,are,not,journal,columns\n1,2,3,4,5\n";
+    }
+    SweepOptions so;
+    so.threads = 1;
+    so.journalPath = journal.path;
+    so.resume = true;
+    EXPECT_THROW(SweepRunner(so).run(jobs), ConfigError);
+}
+
+TEST_F(SweepTest, SweepOptionsFromEnvReadsResilienceKnobs)
+{
+    setenv("PEARL_SWEEP_RETRY", "4", 1);
+    setenv("PEARL_SWEEP_JOURNAL", "/tmp/j.csv", 1);
+    setenv("PEARL_SWEEP_RESUME", "true", 1);
+    SweepOptions opts = SweepOptions::fromEnv();
+    EXPECT_EQ(opts.retryLimit, 4);
+    EXPECT_EQ(opts.journalPath, "/tmp/j.csv");
+    EXPECT_TRUE(opts.resume);
+
+    // Garbage falls back to the defaults (warn-and-continue).
+    setenv("PEARL_SWEEP_RETRY", "-3", 1);
+    setenv("PEARL_SWEEP_RESUME", "maybe", 1);
+    unsetenv("PEARL_SWEEP_JOURNAL");
+    opts = SweepOptions::fromEnv();
+    EXPECT_EQ(opts.retryLimit, 0);
+    EXPECT_TRUE(opts.journalPath.empty());
+    EXPECT_FALSE(opts.resume);
+
+    unsetenv("PEARL_SWEEP_RETRY");
+    unsetenv("PEARL_SWEEP_RESUME");
 }
 
 } // namespace
