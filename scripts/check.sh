@@ -1,20 +1,26 @@
 #!/usr/bin/env sh
 # CI entry point: build and run the tier-1 test suite under the
-# default toolchain, AddressSanitizer+UBSan and ThreadSanitizer.
+# default toolchain, AddressSanitizer+UBSan and ThreadSanitizer, plus
+# the verification plane (differential suite + time-boxed fuzz smoke).
 #
-#   scripts/check.sh            # all three flavours
-#   scripts/check.sh default    # just one (default | asan | tsan)
+#   scripts/check.sh            # all four flavours
+#   scripts/check.sh default    # just one (default | asan | tsan | verify)
 #
 # Each flavour uses its own build directory (build-check-<flavour>) so
 # repeated runs are incremental and the user's ./build is untouched.
 # Exits non-zero on the first failing flavour.
+#
+# The verify flavour reuses the asan build tree (sanitized binaries),
+# runs only tests labelled `verify` with the runtime invariant checker
+# forced on, and budgets the fuzz campaign through PEARL_FUZZ_CASES /
+# PEARL_FUZZ_SECONDS (defaults: 200 seed-pinned cases, 30 s box).
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
 JOBS="${PEARL_CHECK_JOBS:-4}"
-FLAVOURS="${1:-default asan tsan}"
+FLAVOURS="${1:-default asan tsan verify}"
 
 run_flavour() {
     flavour="$1"
@@ -23,9 +29,10 @@ run_flavour() {
     default) sanitize=OFF ;;
     asan) sanitize=ON ;;
     tsan) sanitize=TSAN ;;
+    verify) dir="build-check-asan" sanitize=ON ;;
     *)
         echo "check.sh: unknown flavour '$flavour'" \
-             "(want default | asan | tsan)" >&2
+             "(want default | asan | tsan | verify)" >&2
         exit 2
         ;;
     esac
@@ -44,8 +51,16 @@ run_flavour() {
         exit 1
     }
 
-    echo "==> [$flavour] ctest -L tier1"
-    ctest --test-dir "$dir" -L tier1 --output-on-failure
+    if [ "$flavour" = verify ]; then
+        echo "==> [verify] ctest -L verify (invariants on, fuzz smoke)"
+        PEARL_VERIFY=1 \
+        PEARL_FUZZ_CASES="${PEARL_FUZZ_CASES:-200}" \
+        PEARL_FUZZ_SECONDS="${PEARL_FUZZ_SECONDS:-30}" \
+            ctest --test-dir "$dir" -L verify --output-on-failure
+    else
+        echo "==> [$flavour] ctest -L tier1"
+        ctest --test-dir "$dir" -L tier1 --output-on-failure
+    fi
 }
 
 for f in $FLAVOURS; do

@@ -12,6 +12,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstdint>
 #include <string>
@@ -68,8 +69,12 @@ envU64(const char *name, std::uint64_t fallback)
 
 /**
  * Parse `text` as a double.  Leading whitespace is accepted (strtod
- * semantics), trailing garbage, empty strings, inf/nan overflow and
- * underflow-to-garbage all count as parse failures.
+ * semantics); trailing garbage, empty strings and overflow ("1e999")
+ * count as parse failures.  Gradual underflow is NOT a failure: strtod
+ * sets ERANGE for subnormal results too, but a subnormal is still the
+ * correctly rounded value of its decimal spelling — and the canonical
+ * CSV writer prints subnormals (max_digits10), so the parser must
+ * round-trip them.  Only the overflow half of ERANGE rejects.
  * @return true and set `out` on success.
  */
 inline bool
@@ -79,7 +84,9 @@ parseDouble(const std::string &text, double &out)
     errno = 0;
     char *end = nullptr;
     const double v = std::strtod(begin, &end);
-    if (end == begin || errno == ERANGE)
+    if (end == begin)
+        return false;
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
         return false;
     while (*end == ' ' || *end == '\t')
         ++end;

@@ -373,6 +373,11 @@ PearlNetwork::step()
         router.resetWindow(next);
     }
 
+    // Verification plane: the auditor sees the post-step state tagged
+    // with the cycle that just executed.
+    if (auditor_)
+        auditor_->afterStep(*this);
+
     ++cycle_;
 }
 
@@ -651,6 +656,33 @@ PearlNetwork::thermalUnlockedFraction() const
     for (const auto &bank : thermal_)
         total += bank.unlockedFraction();
     return total / static_cast<double>(thermal_.size());
+}
+
+AuditCounts
+PearlNetwork::auditCounts() const
+{
+    AuditCounts c;
+    c.injected = stats_.injectedPackets();
+    c.retransmitted = stats_.retransmittedPackets();
+    c.delivered = stats_.deliveredPackets();
+    c.dropped = stats_.droppedPackets();
+    for (const auto &router : routers_) {
+        const auto &inj = router->injectBuffers();
+        const auto &rx = router->rxBuffers();
+        c.buffered += inj.of(sim::CoreType::CPU).packetCount() +
+                      inj.of(sim::CoreType::GPU).packetCount() +
+                      rx.of(sim::CoreType::CPU).packetCount() +
+                      rx.of(sim::CoreType::GPU).packetCount();
+    }
+    c.inFlight = inFlight_.size();
+    for (const auto &f : inFlight_.items()) {
+        if (!f.faultChecked)
+            ++c.inFlightUnchecked;
+    }
+    c.retxQueued = retx_.size();
+    for (const auto &src_outstanding : outstanding_)
+        c.outstanding += src_outstanding.size();
+    return c;
 }
 
 double

@@ -50,6 +50,50 @@ struct WindowRecord
 /** Callback observing every closed reservation window. */
 using WindowCollector = std::function<void(const WindowRecord &)>;
 
+class PearlNetwork;
+
+/**
+ * Per-step hook for the verification plane (src/verify).
+ *
+ * The network calls afterStep() at the end of every step(), before the
+ * cycle counter increments, so the auditor sees the post-step state
+ * tagged with the cycle that just executed.  With no auditor installed —
+ * the default — the hook is a single null-pointer test; idle
+ * fast-forward (advanceIdle) does not call it, auditors must tolerate
+ * cycle jumps between calls.
+ */
+class StepAuditor
+{
+  public:
+    virtual ~StepAuditor() = default;
+
+    /** Inspect the network after one step(); throw to abort the run. */
+    virtual void afterStep(const PearlNetwork &net) = 0;
+};
+
+/**
+ * Packet-population counts for conservation checking.  Every packet the
+ * network has accepted is, at a step boundary, in exactly one place:
+ * delivered, dropped, buffered in a router, on a waveguide (inFlight),
+ * waiting out a retransmit backoff (retxQueued) — or it exists only as
+ * an un-ACKed source copy (a reservation-dropped or corrupted instance
+ * whose timeout has not fired yet).  `outstanding` double-counts the
+ * in-flight packets that have not had their fault check yet, which is
+ * what `inFlightUnchecked` lets the checker subtract.
+ */
+struct AuditCounts
+{
+    std::uint64_t injected = 0;      //!< accepted first injections
+    std::uint64_t retransmitted = 0; //!< accepted re-injections
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;       //!< retry budget exhausted
+    std::uint64_t buffered = 0;      //!< packets in inject + rx buffers
+    std::uint64_t inFlight = 0;
+    std::uint64_t inFlightUnchecked = 0; //!< BER draw still pending
+    std::uint64_t retxQueued = 0;
+    std::uint64_t outstanding = 0;   //!< un-ACKed source copies
+};
+
 /** The PEARL network model. */
 class PearlNetwork : public sim::Network
 {
@@ -79,6 +123,13 @@ class PearlNetwork : public sim::Network
      * an uninstrumented build; tracing never draws from the RNG.
      */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Install a per-step auditor (verification plane; not owned, may be
+     * null).  Same zero-cost contract as the tracer: without one the
+     * hook is a single branch and the simulation is unchanged.
+     */
+    void setAuditor(StepAuditor *auditor) { auditor_ = auditor; }
 
     // sim::Network --------------------------------------------------------
     bool inject(const sim::Packet &pkt) override;
@@ -142,6 +193,17 @@ class PearlNetwork : public sim::Network
     const photonic::PowerModel &routerPowerModel() const
     {
         return routerPower_;
+    }
+
+    // Verification plane ----------------------------------------------
+    /** Where every accepted packet currently is (see AuditCounts). */
+    AuditCounts auditCounts() const;
+
+    /** Bits put on `node`'s waveguide during the last step(). */
+    int
+    bitsTransmitted(int node) const
+    {
+        return bitsScratch_[static_cast<std::size_t>(node)];
     }
 
   private:
@@ -219,6 +281,7 @@ class PearlNetwork : public sim::Network
     PowerPolicy *policy_;
     WindowCollector collector_;
     obs::Tracer *tracer_ = nullptr;    //!< observability plane (optional)
+    StepAuditor *auditor_ = nullptr;   //!< verification plane (optional)
     /** Per-router thermal lock state last traced (1 = locked); used to
      *  emit lock-transition events instead of one event per cycle. */
     std::vector<char> tracedLock_;

@@ -125,6 +125,25 @@ class PearlRouter
     const sim::DualClassBuffer &rxBuffers() const { return rx_; }
     bool idle() const;
 
+    /** Snapshot of one class channel's serialisation state, exposed for
+     *  the verification plane's credit/reservation legality checks. */
+    struct TxAudit
+    {
+        bool active = false;
+        bool backToBack = false;
+        int resRemaining = 0;
+        int flitsRemaining = 0;
+        long creditBits = 0;
+    };
+
+    TxAudit
+    txAudit(sim::CoreType type) const
+    {
+        const TxChannel &ch = tx_[static_cast<int>(type)];
+        return {ch.active, ch.backToBack, ch.resRemaining,
+                ch.flitsRemaining, ch.creditBits};
+    }
+
   private:
     /** Serialisation state of one class channel. */
     struct TxChannel

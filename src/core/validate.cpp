@@ -97,13 +97,20 @@ validate(const PearlConfig &cfg)
         return configError("retryLimit must be >= 0 attempts, got ",
                            cfg.retryLimit);
     if (cfg.faults.enabled) {
+        // The timeout must outlast the full ACK round trip (data out +
+        // ACK back), matching the PearlNetwork constructor's assertion,
+        // and must leave the receiver's fault check (which happens at
+        // least one cycle after transmit even at zero link latency) in
+        // front of the timeout — otherwise a timeout retry races the
+        // in-flight ACK and the packet is delivered twice.
         if (cfg.ackTimeoutCycles <=
-            static_cast<std::uint64_t>(cfg.linkLatencyCycles))
+                2 * static_cast<std::uint64_t>(cfg.linkLatencyCycles) ||
+            cfg.ackTimeoutCycles < 2)
             return configError(
                 "ackTimeoutCycles (", cfg.ackTimeoutCycles,
-                ") must exceed linkLatencyCycles (",
-                cfg.linkLatencyCycles,
-                ") or every delivery times out spuriously");
+                ") must be >= 2 and exceed the ACK round trip (2 * "
+                "linkLatencyCycles = ", 2 * cfg.linkLatencyCycles,
+                ") or deliveries time out spuriously");
         if (cfg.retxBackoffBase == 0)
             return configError("retxBackoffBase must be > 0 cycles");
         if (cfg.retxBackoffMax < cfg.retxBackoffBase)

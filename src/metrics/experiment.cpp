@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "core/network.hpp"
 #include "photonic/power_model.hpp"
+#include "verify/invariants.hpp"
 
 namespace pearl {
 namespace metrics {
@@ -211,6 +212,14 @@ runPearl(const traffic::BenchmarkPair &pair,
     const Clock::time_point t_build = Clock::now();
     const photonic::PowerModel power;
     core::PearlNetwork net(net_cfg, power, dba, &policy);
+
+    // Verification plane: audit every step in Debug builds or under
+    // PEARL_VERIFY=1; Release runs keep a bare null-pointer test in the
+    // cycle loop (see verify::runtimeChecksEnabled).
+    verify::Invariants invariants;
+    if (verify::runtimeChecksEnabled())
+        net.setAuditor(&invariants);
+
     if (opts.tracer) {
         net.setTracer(opts.tracer);
         traceRunStart(opts, config_name, pair.label());

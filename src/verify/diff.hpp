@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Differential driver: optimized PearlNetwork vs naive RefNetwork.
+ *
+ * runDiff builds both simulators from the same config, offers them the
+ * same seeded traffic, steps them in lockstep, and after every cycle
+ * compares all externally visible state: injection acceptance,
+ * delivered packets field by field, cumulative NetworkStats (latency
+ * mean compared bit for bit), per-router laser state / switch counts /
+ * fault caps / buffer occupancies, idleness, and the three energy
+ * integrals compared bit for bit.  The optimized side also carries the
+ * runtime invariant checker, so a conservation or legality violation
+ * surfaces through the same DiffResult as a divergence.
+ */
+
+#ifndef PEARL_VERIFY_DIFF_HPP
+#define PEARL_VERIFY_DIFF_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/arch_config.hpp"
+#include "core/dba.hpp"
+#include "core/power_policy.hpp"
+#include "sim/packet.hpp"
+
+namespace pearl {
+namespace verify {
+
+/**
+ * Deterministic open-loop traffic source shared by both simulators.
+ * Each cycle every router flips a weighted coin per core type; accepted
+ * flips become single packets to a uniformly random other node, split
+ * evenly between 1-flit requests and 5-flit responses.
+ */
+class TrafficGen
+{
+  public:
+    TrafficGen(std::uint64_t seed, double cpu_rate, double gpu_rate,
+               int num_nodes)
+        : rng_(seed), cpuRate_(cpu_rate), gpuRate_(gpu_rate),
+          numNodes_(num_nodes)
+    {}
+
+    /** Injection attempts for one cycle (may be empty). */
+    std::vector<sim::Packet> cycleTraffic(sim::Cycle now);
+
+  private:
+    Rng rng_;
+    double cpuRate_;
+    double gpuRate_;
+    int numNodes_;
+    std::uint64_t nextId_ = 1;
+};
+
+/** One differential run: a config, a traffic pattern, and a policy
+ *  factory invoked once per simulator so each side owns stateful
+ *  policies (guardrails) independently. */
+struct DiffCase
+{
+    core::PearlConfig cfg;
+    core::DbaConfig dba;
+    std::uint64_t cycles = 500;
+    std::uint64_t trafficSeed = 1;
+    double cpuRate = 0.05;
+    double gpuRate = 0.05;
+    std::function<std::unique_ptr<core::PowerPolicy>()> makePolicy;
+    /** Install the runtime invariant checker on the optimized side. */
+    bool checkInvariants = true;
+};
+
+/** Outcome of a differential run. */
+struct DiffResult
+{
+    bool diverged = false;
+    sim::Cycle cycle = 0;      //!< first divergent cycle when diverged
+    std::string description;   //!< what differed, both values
+    std::uint64_t injectedPackets = 0;
+    std::uint64_t deliveredPackets = 0;
+    bool ok() const { return !diverged; }
+};
+
+/** Run the two simulators in lockstep (see file comment). */
+DiffResult runDiff(const DiffCase &c);
+
+} // namespace verify
+} // namespace pearl
+
+#endif // PEARL_VERIFY_DIFF_HPP

@@ -1,0 +1,433 @@
+#include "verify/fuzzer.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "core/validate.hpp"
+#include "ml/features.hpp"
+#include "ml/guarded_policy.hpp"
+#include "ml/policy.hpp"
+
+namespace pearl {
+namespace verify {
+
+FuzzCase
+generateCase(std::uint64_t base_seed, std::uint64_t index)
+{
+    FuzzCase c;
+    c.seed = deriveSeed(base_seed, index);
+    Rng rng(c.seed);
+
+    c.numClusters = static_cast<int>(rng.range(2, 4));
+    c.l3WaveguideGroup = static_cast<int>(rng.range(1, 3));
+    c.cpuInjectSlots = static_cast<int>(rng.range(6, 16));
+    c.gpuInjectSlots = static_cast<int>(rng.range(6, 16));
+    c.rxSlotsPerClass = static_cast<int>(rng.range(6, 16));
+
+    c.reservationCycles = static_cast<int>(rng.range(0, 3));
+    c.linkLatencyCycles = static_cast<int>(rng.range(1, 4));
+    c.ejectFlitsPerCycle = static_cast<int>(rng.range(1, 8));
+
+    c.reservationWindow = static_cast<std::uint64_t>(rng.range(40, 200));
+    c.windowOffsetPerRouter = static_cast<int>(rng.range(0, 30));
+    c.laserTurnOnCycles = static_cast<std::uint64_t>(rng.range(0, 8));
+    c.initialState =
+        static_cast<int>(rng.range(0, photonic::kNumWlStates - 1));
+
+    c.policy = static_cast<int>(rng.range(0, kNumPolicyKinds - 1));
+    c.dbaMode = static_cast<int>(rng.range(0, 2));
+
+    c.faultsEnabled = rng.chance(0.75);
+    if (c.faultsEnabled) {
+        c.bankMtbfCycles = rng.chance(0.5)
+                               ? static_cast<double>(rng.range(200, 4000))
+                               : 0.0;
+        c.bankMttrCycles = static_cast<double>(rng.range(100, 1000));
+        static constexpr double kBers[] = {0.0, 1e-4, 1e-3, 5e-3};
+        c.baseBer = kBers[rng.range(0, 3)];
+        static constexpr double kDropRates[] = {0.0, 0.001, 0.01, 0.05};
+        c.reservationDropRate = kDropRates[rng.range(0, 3)];
+        c.faultSeed = deriveSeed(c.seed, 1);
+        // Always > 2 * linkLatency and >= 2: validate's floor.
+        c.ackTimeoutCycles =
+            2 * static_cast<std::uint64_t>(c.linkLatencyCycles) + 2 +
+            static_cast<std::uint64_t>(rng.range(0, 64));
+        c.retryLimit = static_cast<int>(rng.range(0, 6));
+        c.retxBackoffBase = static_cast<std::uint64_t>(rng.range(1, 16));
+        c.retxBackoffMax = c.retxBackoffBase
+                           << static_cast<unsigned>(rng.range(0, 6));
+    }
+
+    c.cycles = static_cast<std::uint64_t>(rng.range(300, 1200));
+    c.cpuRate = 0.25 * rng.uniform();
+    c.gpuRate = 0.25 * rng.uniform();
+    c.trafficSeed = deriveSeed(c.seed, 2);
+    return c;
+}
+
+core::PearlConfig
+toPearlConfig(const FuzzCase &c)
+{
+    core::PearlConfig cfg;
+    cfg.numClusters = c.numClusters;
+    cfg.l3Node = c.numClusters; // the extra node, as in the default map
+    cfg.l3WaveguideGroup = c.l3WaveguideGroup;
+    cfg.cpuInjectSlots = c.cpuInjectSlots;
+    cfg.gpuInjectSlots = c.gpuInjectSlots;
+    cfg.rxSlotsPerClass = c.rxSlotsPerClass;
+    cfg.reservationCycles = c.reservationCycles;
+    cfg.linkLatencyCycles = c.linkLatencyCycles;
+    cfg.ejectFlitsPerCycle = c.ejectFlitsPerCycle;
+    cfg.reservationWindow = c.reservationWindow;
+    cfg.windowOffsetPerRouter = c.windowOffsetPerRouter;
+    cfg.laserTurnOnCycles = c.laserTurnOnCycles;
+    cfg.initialState = photonic::stateFromIndex(c.initialState);
+    cfg.useThermalModel = false; // outside the oracle's scope
+    cfg.faults.enabled = c.faultsEnabled;
+    if (c.faultsEnabled) {
+        cfg.faults.seed = c.faultSeed;
+        cfg.faults.bankMtbfCycles = c.bankMtbfCycles;
+        cfg.faults.bankMttrCycles = c.bankMttrCycles;
+        cfg.faults.baseBer = c.baseBer;
+        cfg.faults.reservationDropRate = c.reservationDropRate;
+        cfg.ackTimeoutCycles = c.ackTimeoutCycles;
+        cfg.retryLimit = c.retryLimit;
+        cfg.retxBackoffBase = c.retxBackoffBase;
+        cfg.retxBackoffMax = c.retxBackoffMax;
+    }
+    return cfg;
+}
+
+core::DbaConfig
+toDbaConfig(const FuzzCase &c)
+{
+    core::DbaConfig dba;
+    dba.mode = static_cast<core::DbaConfig::Mode>(c.dbaMode);
+    return dba;
+}
+
+const ml::RidgeRegression &
+fuzzModel()
+{
+    static const ml::RidgeRegression model = [] {
+        ml::Dataset data;
+        Rng rng(0xF17ull);
+        for (int i = 0; i < 8 * ml::kNumFeatures; ++i) {
+            std::vector<double> x(ml::kNumFeatures);
+            for (double &v : x)
+                v = 32.0 * rng.uniform();
+            // A noisy linear target over a few features keeps the fit
+            // well conditioned and the predictions non-degenerate.
+            const double label =
+                0.3 * x[2] + 0.2 * x[10] + 4.0 * rng.uniform();
+            data.features.push_back(std::move(x));
+            data.labels.push_back(label);
+        }
+        ml::RidgeRegression m;
+        m.fit(data, 1.0);
+        return m;
+    }();
+    return model;
+}
+
+DiffCase
+toDiffCase(const FuzzCase &c)
+{
+    DiffCase d;
+    d.cfg = toPearlConfig(c);
+    d.dba = toDbaConfig(c);
+    d.cycles = c.cycles;
+    d.trafficSeed = c.trafficSeed;
+    d.cpuRate = c.cpuRate;
+    d.gpuRate = c.gpuRate;
+
+    const auto kind = static_cast<PolicyKind>(c.policy);
+    const auto initial = photonic::stateFromIndex(c.initialState);
+    const std::uint64_t policy_seed = deriveSeed(c.seed, 3);
+    d.makePolicy = [kind, initial,
+                    policy_seed]() -> std::unique_ptr<core::PowerPolicy> {
+        switch (kind) {
+          case PolicyKind::Reactive:
+            return std::make_unique<core::ReactivePolicy>();
+          case PolicyKind::Ml:
+            return std::make_unique<ml::MlPowerPolicy>(&fuzzModel());
+          case PolicyKind::Guarded: {
+            // Tight guardrails so fuzzed runs actually exercise the
+            // fallback transitions, not just the ML path.
+            ml::GuardrailConfig guard;
+            guard.errorWindow = 2;
+            guard.enterError = 0.50;
+            guard.exitError = 0.20;
+            guard.enterStreak = 1;
+            guard.exitStreak = 2;
+            return std::make_unique<ml::GuardedPolicy>(
+                &fuzzModel(), ml::MlPolicyConfig{}, guard);
+          }
+          case PolicyKind::Random:
+            // Both simulators get their own copy seeded identically, so
+            // the draws line up window for window.
+            return std::make_unique<core::RandomPolicy>(Rng(policy_seed),
+                                                        true);
+          case PolicyKind::Static:
+          default:
+            return std::make_unique<core::StaticPolicy>(initial);
+        }
+    };
+    return d;
+}
+
+namespace {
+
+/** Single source of truth for the reproducer field list; `v(name,
+ *  field)` is called once per field, in file order. */
+template <typename Case, typename Visitor>
+void
+visitCaseFields(Case &c, Visitor &&v)
+{
+    v("seed", c.seed);
+    v("numClusters", c.numClusters);
+    v("l3WaveguideGroup", c.l3WaveguideGroup);
+    v("cpuInjectSlots", c.cpuInjectSlots);
+    v("gpuInjectSlots", c.gpuInjectSlots);
+    v("rxSlotsPerClass", c.rxSlotsPerClass);
+    v("reservationCycles", c.reservationCycles);
+    v("linkLatencyCycles", c.linkLatencyCycles);
+    v("ejectFlitsPerCycle", c.ejectFlitsPerCycle);
+    v("reservationWindow", c.reservationWindow);
+    v("windowOffsetPerRouter", c.windowOffsetPerRouter);
+    v("laserTurnOnCycles", c.laserTurnOnCycles);
+    v("initialState", c.initialState);
+    v("policy", c.policy);
+    v("dbaMode", c.dbaMode);
+    v("faultsEnabled", c.faultsEnabled);
+    v("bankMtbfCycles", c.bankMtbfCycles);
+    v("bankMttrCycles", c.bankMttrCycles);
+    v("baseBer", c.baseBer);
+    v("reservationDropRate", c.reservationDropRate);
+    v("faultSeed", c.faultSeed);
+    v("ackTimeoutCycles", c.ackTimeoutCycles);
+    v("retryLimit", c.retryLimit);
+    v("retxBackoffBase", c.retxBackoffBase);
+    v("retxBackoffMax", c.retxBackoffMax);
+    v("cycles", c.cycles);
+    v("cpuRate", c.cpuRate);
+    v("gpuRate", c.gpuRate);
+    v("trafficSeed", c.trafficSeed);
+}
+
+void
+printField(std::ostream &os, const char *name, double value)
+{
+    std::ostringstream text;
+    text.precision(17); // max_digits10: parses back bit-exactly
+    text << value;
+    os << name << '=' << text.str() << '\n';
+}
+
+void
+printField(std::ostream &os, const char *name, bool value)
+{
+    os << name << '=' << (value ? 1 : 0) << '\n';
+}
+
+template <typename T>
+void
+printField(std::ostream &os, const char *name, T value)
+{
+    os << name << '=' << value << '\n';
+}
+
+bool
+assignField(const std::string &text, double &out)
+{
+    return parseDouble(text, out);
+}
+
+bool
+assignField(const std::string &text, bool &out)
+{
+    return parseBool(text, out);
+}
+
+bool
+assignField(const std::string &text, std::uint64_t &out)
+{
+    return parseU64(text, out);
+}
+
+bool
+assignField(const std::string &text, int &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(text, v) || v > static_cast<std::uint64_t>(INT32_MAX))
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace
+
+std::string
+describeCase(const FuzzCase &c)
+{
+    std::ostringstream os;
+    FuzzCase copy = c;
+    visitCaseFields(copy, [&os](const char *name, auto &field) {
+        printField(os, name, field);
+    });
+    return os.str();
+}
+
+void
+writeReproducer(const FuzzCase &c, const std::string &why,
+                const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write fuzz reproducer to ", path);
+        return;
+    }
+    os << "# pearl fuzz reproducer\n";
+    os << "# failure: " << why << '\n';
+    os << describeCase(c);
+}
+
+bool
+parseReproducer(std::istream &is, FuzzCase &out)
+{
+    std::unordered_map<std::string, std::string> kv;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return false;
+        kv[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    bool ok = true;
+    visitCaseFields(out, [&kv, &ok](const char *name, auto &field) {
+        auto it = kv.find(name);
+        if (it == kv.end() || !assignField(it->second, field))
+            ok = false;
+    });
+    return ok;
+}
+
+FuzzCase
+shrinkCase(const FuzzCase &failing,
+           const std::function<bool(const FuzzCase &)> &still_fails)
+{
+    FuzzCase best = failing;
+    const auto keep = [&](const FuzzCase &candidate) {
+        if (!still_fails(candidate))
+            return false;
+        best = candidate;
+        return true;
+    };
+
+    bool changed = true;
+    for (int round = 0; changed && round < 20; ++round) {
+        changed = false;
+
+        while (best.cycles > 50) {
+            FuzzCase candidate = best;
+            candidate.cycles /= 2;
+            if (!keep(candidate))
+                break;
+            changed = true;
+        }
+
+        if (best.reservationDropRate != 0.0) {
+            FuzzCase candidate = best;
+            candidate.reservationDropRate = 0.0;
+            changed |= keep(candidate);
+        }
+        if (best.baseBer != 0.0) {
+            FuzzCase candidate = best;
+            candidate.baseBer = 0.0;
+            changed |= keep(candidate);
+        }
+        if (best.bankMtbfCycles != 0.0) {
+            FuzzCase candidate = best;
+            candidate.bankMtbfCycles = 0.0;
+            changed |= keep(candidate);
+        }
+        if (best.faultsEnabled) {
+            FuzzCase candidate = best;
+            candidate.faultsEnabled = false;
+            changed |= keep(candidate);
+        }
+        if (best.gpuRate != 0.0) {
+            FuzzCase candidate = best;
+            candidate.gpuRate = 0.0;
+            changed |= keep(candidate);
+        }
+        if (best.cpuRate > 0.01) {
+            FuzzCase candidate = best;
+            candidate.cpuRate /= 2.0;
+            changed |= keep(candidate);
+        }
+        if (best.policy != static_cast<int>(PolicyKind::Static)) {
+            FuzzCase candidate = best;
+            candidate.policy = static_cast<int>(PolicyKind::Static);
+            changed |= keep(candidate);
+        }
+        if (best.numClusters > 2) {
+            FuzzCase candidate = best;
+            candidate.numClusters = 2;
+            changed |= keep(candidate);
+        }
+    }
+    return best;
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &opts)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto out_of_time = [&] {
+        if (opts.maxSeconds <= 0.0)
+            return false;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return elapsed.count() >= opts.maxSeconds;
+    };
+
+    const auto failure = [](const FuzzCase &c) -> std::string {
+        const core::PearlConfig cfg = toPearlConfig(c);
+        if (Validation v = core::validate(cfg); !v)
+            return "generated config failed validate: " +
+                   v.error().message;
+        const DiffResult r = runDiff(toDiffCase(c));
+        return r.diverged ? r.description : std::string();
+    };
+
+    FuzzReport report;
+    for (std::uint64_t i = 0; i < opts.maxCases; ++i) {
+        if (out_of_time())
+            break;
+        const FuzzCase c = generateCase(opts.baseSeed, i);
+        ++report.casesRun;
+        const std::string why = failure(c);
+        if (why.empty())
+            continue;
+        report.failed = true;
+        report.description = why;
+        report.minimal = shrinkCase(c, [&](const FuzzCase &candidate) {
+            return !failure(candidate).empty();
+        });
+        if (!opts.reproducerPath.empty())
+            writeReproducer(report.minimal, why, opts.reproducerPath);
+        break;
+    }
+    return report;
+}
+
+} // namespace verify
+} // namespace pearl

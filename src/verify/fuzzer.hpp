@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic config/trace fuzzer for the verification plane.
+ *
+ * generateCase(base_seed, index) expands a SplitMix64-derived seed into
+ * a randomized-but-validate()-passing FuzzCase: a small PEARL config
+ * (2-4 clusters), a policy (static/reactive/ml/guarded/random), a DBA
+ * mode, an optional fault schedule, and an open-loop traffic pattern.
+ * Each case runs through the differential driver (reference simulator
+ * vs optimized simulator, invariants installed); a failing case is
+ * shrunk with greedy passes to a minimal reproducer and written to disk
+ * as key=value lines that parseReproducer can load back.
+ *
+ * Everything is derived from the case seed, so a reported case replays
+ * bit-identically from its reproducer file or from (base_seed, index).
+ */
+
+#ifndef PEARL_VERIFY_FUZZER_HPP
+#define PEARL_VERIFY_FUZZER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "ml/ridge.hpp"
+#include "verify/diff.hpp"
+
+namespace pearl {
+namespace verify {
+
+/** Wavelength policy a fuzz case drives the routers with. */
+enum class PolicyKind : int
+{
+    Static = 0,
+    Reactive = 1,
+    Ml = 2,
+    Guarded = 3,
+    Random = 4
+};
+
+constexpr int kNumPolicyKinds = 5;
+
+/** A flat, serialisable description of one fuzz case.  Every field is a
+ *  plain scalar so the reproducer file round-trips exactly. */
+struct FuzzCase
+{
+    std::uint64_t seed = 0; //!< case identity; derives all sub-seeds
+
+    // Topology and buffering.
+    int numClusters = 2;
+    int l3WaveguideGroup = 1;
+    int cpuInjectSlots = 8;
+    int gpuInjectSlots = 8;
+    int rxSlotsPerClass = 8;
+
+    // Link timing.
+    int reservationCycles = 2;
+    int linkLatencyCycles = 2;
+    int ejectFlitsPerCycle = 4;
+
+    // Power scaling.
+    std::uint64_t reservationWindow = 100;
+    int windowOffsetPerRouter = 10;
+    std::uint64_t laserTurnOnCycles = 4;
+    int initialState = 4; //!< photonic::indexOf of the initial WlState
+
+    int policy = static_cast<int>(PolicyKind::Reactive);
+    int dbaMode = 0; //!< core::DbaConfig::Mode
+
+    // Fault plane.
+    bool faultsEnabled = false;
+    double bankMtbfCycles = 0.0;
+    double bankMttrCycles = 500.0;
+    double baseBer = 0.0;
+    double reservationDropRate = 0.0;
+    std::uint64_t faultSeed = 1;
+    std::uint64_t ackTimeoutCycles = 64;
+    int retryLimit = 4;
+    std::uint64_t retxBackoffBase = 8;
+    std::uint64_t retxBackoffMax = 64;
+
+    // Traffic.
+    std::uint64_t cycles = 600;
+    double cpuRate = 0.05;
+    double gpuRate = 0.05;
+    std::uint64_t trafficSeed = 1;
+};
+
+/** Deterministically expand (base_seed, index) into a case that passes
+ *  core::validate on both the PearlConfig and the DbaConfig. */
+FuzzCase generateCase(std::uint64_t base_seed, std::uint64_t index);
+
+core::PearlConfig toPearlConfig(const FuzzCase &c);
+core::DbaConfig toDbaConfig(const FuzzCase &c);
+
+/** Full differential-run description, including the policy factory. */
+DiffCase toDiffCase(const FuzzCase &c);
+
+/** The shared deterministic ridge model behind Ml/Guarded fuzz cases
+ *  (fitted once on a seeded synthetic dataset). */
+const ml::RidgeRegression &fuzzModel();
+
+/** key=value serialisation of a case (one field per line). */
+std::string describeCase(const FuzzCase &c);
+
+/** Write a shrunk case plus the failure description to `path`. */
+void writeReproducer(const FuzzCase &c, const std::string &why,
+                     const std::string &path);
+
+/** Load a case back from reproducer text.  @return false on any
+ *  missing/unparseable field. */
+bool parseReproducer(std::istream &is, FuzzCase &out);
+
+/**
+ * Greedy shrinking: repeatedly tries simplifications (halve the cycle
+ * budget, drop fault features, silence traffic classes, shrink the
+ * topology, simplify the policy) and keeps each one while the case
+ * still fails, iterating to a fixpoint.
+ */
+FuzzCase
+shrinkCase(const FuzzCase &failing,
+           const std::function<bool(const FuzzCase &)> &still_fails);
+
+/** Fuzz campaign parameters. */
+struct FuzzOptions
+{
+    std::uint64_t baseSeed = 0xF0CC;
+    std::uint64_t maxCases = 200;
+    /** Wall-clock budget in seconds; 0 means unlimited. */
+    double maxSeconds = 0.0;
+    /** When non-empty, a failing case's minimal reproducer lands here. */
+    std::string reproducerPath;
+};
+
+/** Outcome of a fuzz campaign. */
+struct FuzzReport
+{
+    std::uint64_t casesRun = 0;
+    bool failed = false;
+    FuzzCase minimal;        //!< shrunk reproducer when failed
+    std::string description; //!< first failure's divergence message
+};
+
+/** Run up to maxCases differential runs within the time budget,
+ *  shrinking and persisting the first failure. */
+FuzzReport runFuzz(const FuzzOptions &opts);
+
+} // namespace verify
+} // namespace pearl
+
+#endif // PEARL_VERIFY_FUZZER_HPP

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -232,6 +233,121 @@ TEST(Guardrails, FromEnvReadsKnobs)
     EXPECT_EQ(cfg.exitStreak, 11);
     EXPECT_DOUBLE_EQ(cfg.maxPredictedPackets, 12345.0);
     EXPECT_TRUE(validate(cfg));
+}
+
+// Hysteresis boundaries ----------------------------------------------------
+
+TEST(Guardrails, UnitWindowAndStreaksTripAndRecoverImmediately)
+{
+    // The degenerate-but-legal hysteresis: error window of one sample,
+    // enter/exit streaks of one window.  The guard must trip on the
+    // very first scored bad window and hand control back on the very
+    // first scored good one — off-by-one bugs in the streak counters or
+    // the sample warm-up show up as a one-window delay here.
+    const RidgeRegression model = constantModel(0.0);
+    GuardrailConfig cfg;
+    cfg.errorWindow = 1;
+    cfg.enterStreak = 1;
+    cfg.exitStreak = 1;
+    ASSERT_TRUE(validate(cfg));
+    GuardedPolicy guarded(&model, MlPolicyConfig{}, cfg);
+    sim::RouterTelemetry t;
+
+    // Window 0: first ever decision — there is no previous prediction
+    // to score, so even a wildly wrong window cannot trip the guard.
+    core::PolicyFeedback fb = driveWindows(guarded, t, 2000, 1.0, 1);
+    EXPECT_FALSE(fb.enteredFallback);
+    EXPECT_FALSE(fb.fallbackActive);
+
+    // Window 1: the window-0 prediction (~0) is scored against 2000
+    // actual injections — normalised error 1.0, one sample fills the
+    // unit error window, one bad window fills the unit streak.
+    fb = driveWindows(guarded, t, 2000, 1.0, 1);
+    EXPECT_TRUE(fb.enteredFallback);
+    EXPECT_TRUE(fb.fallbackActive);
+    EXPECT_TRUE(guarded.inFallback(0));
+
+    // Window 2: traffic matches the model again (0 injections); the
+    // unit window forgets the bad sample at once and the unit exit
+    // streak recovers in the same window.
+    fb = driveWindows(guarded, t, 0, 0.1, 1);
+    EXPECT_TRUE(fb.exitedFallback);
+    EXPECT_FALSE(fb.fallbackActive);
+    EXPECT_FALSE(guarded.inFallback(0));
+
+    // And it re-trips just as promptly: no stale streak survives the
+    // round trip.
+    fb = driveWindows(guarded, t, 2000, 1.0, 1);
+    EXPECT_TRUE(fb.enteredFallback);
+}
+
+TEST(Guardrails, ClampBoundaryIsExclusive)
+{
+    // Pin the clamp comparison to "strictly greater": a prediction
+    // exactly at maxPredictedPackets passes through untouched, one ULP
+    // of headroom less and it clamps.  Extract the model's exact
+    // prediction through the decision trace first so the boundary is
+    // placed bit-precisely.
+    const RidgeRegression model = constantModel(150.0);
+    sim::RouterTelemetry t;
+    t.packetsInjected = 100;
+
+    MlPowerPolicy bare(&model);
+    core::DecisionTrace trace;
+    core::WindowObservation probe = makeObs(t, 0.3, nullptr);
+    probe.decision = &trace;
+    const photonic::WlState bare_state = bare.nextState(probe);
+    ASSERT_TRUE(trace.hasPrediction);
+    const double pred = trace.predictedPackets;
+    ASSERT_GT(pred, 0.0);
+
+    {
+        GuardrailConfig cfg;
+        cfg.maxPredictedPackets = pred; // boundary: equal, not above
+        GuardedPolicy at_edge(&model, MlPolicyConfig{}, cfg);
+        core::PolicyFeedback fb;
+        const photonic::WlState s =
+            at_edge.nextState(makeObs(t, 0.3, &fb));
+        EXPECT_FALSE(fb.clampedPrediction);
+        EXPECT_EQ(s, bare_state);
+    }
+    {
+        GuardrailConfig cfg;
+        cfg.maxPredictedPackets = std::nextafter(pred, 0.0);
+        GuardedPolicy below_edge(&model, MlPolicyConfig{}, cfg);
+        core::PolicyFeedback fb;
+        const photonic::WlState s =
+            below_edge.nextState(makeObs(t, 0.3, &fb));
+        EXPECT_TRUE(fb.clampedPrediction);
+        EXPECT_EQ(s, MlPowerPolicy::stateForDemand(
+                         cfg.maxPredictedPackets, 500, MlPolicyConfig{}));
+    }
+}
+
+TEST(Guardrails, NegativeRawPredictionIsFlooredByMlNotTheGuard)
+{
+    // The other clamp edge: a model whose raw output is negative.  The
+    // ML policy itself floors the prediction at zero demand before the
+    // guard ever sees it, so the guard must observe an in-range value
+    // (no clampedPrediction) and the state resolves to zero demand.
+    const RidgeRegression model = constantModel(-50.0);
+    sim::RouterTelemetry t;
+    t.packetsInjected = 10;
+
+    MlPowerPolicy bare(&model);
+    core::DecisionTrace trace;
+    core::WindowObservation probe = makeObs(t, 0.1, nullptr);
+    probe.decision = &trace;
+    bare.nextState(probe);
+    ASSERT_TRUE(trace.hasPrediction);
+    EXPECT_EQ(trace.predictedPackets, 0.0);
+
+    GuardedPolicy guarded(&model);
+    core::PolicyFeedback fb;
+    const photonic::WlState s = guarded.nextState(makeObs(t, 0.1, &fb));
+    EXPECT_FALSE(fb.clampedPrediction);
+    EXPECT_EQ(s, MlPowerPolicy::stateForDemand(0.0, 500,
+                                               MlPolicyConfig{}));
 }
 
 // Full-run integration ---------------------------------------------------

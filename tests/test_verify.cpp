@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Verification plane: differential harness (RefNetwork vs PearlNetwork),
+ * runtime invariant checker, and the deterministic config fuzzer.
+ *
+ * The fuzz campaign is budgeted through environment knobs so CI can run
+ * it time-boxed without editing the test:
+ *   PEARL_FUZZ_CASES    cases to attempt (default 200)
+ *   PEARL_FUZZ_SECONDS  wall-clock budget, 0 = unlimited (default 0)
+ *   PEARL_FUZZ_SEED     campaign base seed (default 0xF0CC)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/env.hpp"
+#include "core/network.hpp"
+#include "core/router.hpp"
+#include "core/system.hpp"
+#include "core/validate.hpp"
+#include "ml/guarded_policy.hpp"
+#include "photonic/laser.hpp"
+#include "photonic/power_model.hpp"
+#include "traffic/suite.hpp"
+#include "verify/diff.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/invariants.hpp"
+#include "verify/ref_network.hpp"
+
+namespace pearl {
+namespace verify {
+namespace {
+
+using sim::CoreType;
+using sim::Cycle;
+
+/** Small hand-written config the explicit differential cases share. */
+core::PearlConfig
+smallConfig()
+{
+    core::PearlConfig cfg;
+    cfg.numClusters = 3;
+    cfg.l3Node = 3;
+    cfg.l3WaveguideGroup = 2;
+    cfg.cpuInjectSlots = 8;
+    cfg.gpuInjectSlots = 8;
+    cfg.rxSlotsPerClass = 8;
+    cfg.reservationWindow = 60;
+    cfg.windowOffsetPerRouter = 7;
+    cfg.laserTurnOnCycles = 3;
+    return cfg;
+}
+
+DiffCase
+smallCase(core::PearlConfig cfg)
+{
+    DiffCase d;
+    d.cfg = cfg;
+    d.cycles = 900;
+    d.trafficSeed = 0x5EED;
+    d.cpuRate = 0.10;
+    d.gpuRate = 0.08;
+    d.makePolicy = [] {
+        return std::make_unique<core::ReactivePolicy>();
+    };
+    return d;
+}
+
+// Differential harness -----------------------------------------------------
+
+TEST(RefDiff, HealthyFabricReactivePolicy)
+{
+    const DiffResult r = runDiff(smallCase(smallConfig()));
+    EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
+    EXPECT_GT(r.deliveredPackets, 0u);
+}
+
+TEST(RefDiff, FaultPlaneWithRetransmissions)
+{
+    core::PearlConfig cfg = smallConfig();
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 0xFA11;
+    cfg.faults.bankMtbfCycles = 400.0;
+    cfg.faults.bankMttrCycles = 250.0;
+    cfg.faults.baseBer = 1e-3;
+    cfg.faults.reservationDropRate = 0.01;
+    cfg.ackTimeoutCycles = 12;
+    cfg.retryLimit = 3;
+    cfg.retxBackoffBase = 4;
+    cfg.retxBackoffMax = 32;
+    ASSERT_TRUE(core::validate(cfg));
+
+    DiffCase d = smallCase(cfg);
+    d.cycles = 1500;
+    const DiffResult r = runDiff(d);
+    EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
+    EXPECT_GT(r.deliveredPackets, 0u);
+}
+
+TEST(RefDiff, GuardedMlPolicy)
+{
+    DiffCase d = smallCase(smallConfig());
+    d.makePolicy = [] {
+        ml::GuardrailConfig guard;
+        guard.errorWindow = 2;
+        guard.enterError = 0.50;
+        guard.exitError = 0.20;
+        guard.enterStreak = 1;
+        guard.exitStreak = 2;
+        return std::make_unique<ml::GuardedPolicy>(
+            &fuzzModel(), ml::MlPolicyConfig{}, guard);
+    };
+    const DiffResult r = runDiff(d);
+    EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
+}
+
+TEST(RefDiff, DetectsSeededDivergence)
+{
+    // Self-test of the comparator: run the optimized side with one more
+    // eject slot per cycle than the reference and the ejection schedules
+    // must visibly diverge — a harness that can't see a planted bug
+    // can't certify the absence of real ones.
+    DiffCase d = smallCase(smallConfig());
+    core::PearlConfig skewed = d.cfg;
+    skewed.ejectFlitsPerCycle = 1; // reference still runs 4
+    const photonic::PowerModel power{};
+    auto pearl_policy = d.makePolicy();
+    auto ref_policy = d.makePolicy();
+    core::PearlNetwork pearl(skewed, power, d.dba, pearl_policy.get());
+    RefNetwork ref(d.cfg, power, d.dba, ref_policy.get());
+    TrafficGen traffic(d.trafficSeed, d.cpuRate, d.gpuRate,
+                       d.cfg.numNodes());
+    bool diverged = false;
+    for (Cycle i = 0; i < 400 && !diverged; ++i) {
+        for (const sim::Packet &pkt : traffic.cycleTraffic(pearl.cycle())) {
+            pearl.inject(pkt);
+            ref.inject(pkt);
+        }
+        pearl.step();
+        ref.step();
+        diverged = pearl.stats().deliveredPackets() !=
+                       ref.stats().deliveredPackets() ||
+                   pearl.delivered().size() != ref.delivered().size();
+        pearl.delivered().clear();
+        ref.delivered().clear();
+    }
+    EXPECT_TRUE(diverged);
+}
+
+// Idle fast-forward vs the reference simulator (no fast path) --------------
+
+/** RAII override of PEARL_FAST_FORWARD. */
+class FastForwardEnv
+{
+  public:
+    explicit FastForwardEnv(const char *value)
+    {
+        const char *old = std::getenv("PEARL_FAST_FORWARD");
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        ::setenv("PEARL_FAST_FORWARD", value, 1);
+    }
+    ~FastForwardEnv()
+    {
+        if (had_)
+            ::setenv("PEARL_FAST_FORWARD", old_.c_str(), 1);
+        else
+            ::unsetenv("PEARL_FAST_FORWARD");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+traffic::BenchmarkProfile
+quietProfile(CoreType t)
+{
+    traffic::BenchmarkProfile p;
+    p.name = "quiet";
+    p.abbrev = "QU";
+    p.coreType = t;
+    p.accessRateOn = 0.0;
+    p.accessRateOff = 0.0;
+    return p;
+}
+
+struct QuietOutcome
+{
+    Cycle cycle = 0;
+    Cycle fastForwarded = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t laserCycles = 0;
+    std::uint64_t upSwitches = 0;
+    std::uint64_t downSwitches = 0;
+    double residencyWl8 = 0.0;
+    double laserEnergyJ = 0.0;
+    double trimmingEnergyJ = 0.0;
+};
+
+QuietOutcome
+runQuietSystem(sim::Network &net, core::HeteroSystem &system, Cycle cycles)
+{
+    system.run(cycles);
+    QuietOutcome out;
+    out.cycle = net.cycle();
+    out.fastForwarded = system.fastForwardedCycles();
+    out.delivered = net.stats().deliveredPackets();
+    return out;
+}
+
+QuietOutcome
+runQuietPearl(Cycle cycles, core::PowerPolicy &policy)
+{
+    FastForwardEnv env("1");
+    const core::PearlConfig cfg;
+    const photonic::PowerModel power;
+    core::PearlNetwork net(cfg, power, core::DbaConfig{}, &policy);
+    traffic::BenchmarkPair pair{quietProfile(CoreType::CPU),
+                                quietProfile(CoreType::GPU)};
+    core::HeteroSystem system(
+        net, pair, core::SystemConfig{},
+        [&net](int n) { return &net.telemetryOf(n); });
+    QuietOutcome out = runQuietSystem(net, system, cycles);
+    for (int r = 0; r < net.numNodes(); ++r) {
+        const auto &laser = net.router(r).laser();
+        out.laserCycles += laser.cycles();
+        out.upSwitches += laser.upSwitches();
+        out.downSwitches += laser.downSwitches();
+    }
+    out.residencyWl8 = net.residency(photonic::WlState::WL8);
+    out.laserEnergyJ = net.laserEnergyJ();
+    out.trimmingEnergyJ = net.trimmingEnergyJ();
+    return out;
+}
+
+QuietOutcome
+runQuietRef(Cycle cycles, core::PowerPolicy &policy)
+{
+    // RefNetwork keeps the interface's default advanceIdle (0), so the
+    // system steps it through every single cycle — the honest baseline
+    // fastForwardQuiescent must be indistinguishable from.
+    FastForwardEnv env("1");
+    const core::PearlConfig cfg;
+    const photonic::PowerModel power;
+    RefNetwork net(cfg, power, core::DbaConfig{}, &policy);
+    traffic::BenchmarkPair pair{quietProfile(CoreType::CPU),
+                                quietProfile(CoreType::GPU)};
+    core::HeteroSystem system(
+        net, pair, core::SystemConfig{},
+        [&net](int n) { return &net.telemetryOf(n); });
+    QuietOutcome out = runQuietSystem(net, system, cycles);
+    for (int r = 0; r < net.numNodes(); ++r) {
+        out.laserCycles += net.laserCycles(r);
+        out.upSwitches += net.upSwitches(r);
+        out.downSwitches += net.downSwitches(r);
+    }
+    out.residencyWl8 = net.residency(photonic::WlState::WL8);
+    out.laserEnergyJ = net.laserEnergyJ();
+    out.trimmingEnergyJ = net.trimmingEnergyJ();
+    return out;
+}
+
+TEST(RefDiff, FastForwardQuiescentMatchesReferenceStaticPolicy)
+{
+    core::StaticPolicy ff_policy(photonic::WlState::WL64);
+    core::StaticPolicy ref_policy(photonic::WlState::WL64);
+    const QuietOutcome ff = runQuietPearl(12000, ff_policy);
+    const QuietOutcome ref = runQuietRef(12000, ref_policy);
+
+    EXPECT_GT(ff.fastForwarded, 0u) << "fast path never engaged";
+    EXPECT_EQ(ref.fastForwarded, 0u);
+    EXPECT_EQ(ff.cycle, ref.cycle);
+    EXPECT_EQ(ff.delivered, ref.delivered);
+    EXPECT_EQ(ff.laserCycles, ref.laserCycles);
+    EXPECT_EQ(ff.upSwitches, ref.upSwitches);
+    EXPECT_EQ(ff.downSwitches, ref.downSwitches);
+    EXPECT_EQ(ff.residencyWl8, ref.residencyWl8);
+    // The jump integrates k cycles as one multiply-add; the reference
+    // adds per cycle.  Same integral, different rounding path.
+    EXPECT_NEAR(ff.laserEnergyJ, ref.laserEnergyJ,
+                1e-9 * ref.laserEnergyJ);
+    EXPECT_NEAR(ff.trimmingEnergyJ, ref.trimmingEnergyJ,
+                1e-9 * ref.trimmingEnergyJ);
+}
+
+TEST(RefDiff, FastForwardQuiescentMatchesReferenceReactivePolicy)
+{
+    // A reactive policy on a silent fabric walks every laser down to
+    // WL8 through window-boundary downswitches — cycles fast-forward
+    // must land on exactly, never skip.
+    core::ReactivePolicy ff_policy;
+    core::ReactivePolicy ref_policy;
+    const QuietOutcome ff = runQuietPearl(12000, ff_policy);
+    const QuietOutcome ref = runQuietRef(12000, ref_policy);
+
+    EXPECT_GT(ff.fastForwarded, 0u);
+    EXPECT_GT(ff.downSwitches, 0u);
+    EXPECT_EQ(ff.downSwitches, ref.downSwitches);
+    EXPECT_EQ(ff.upSwitches, ref.upSwitches);
+    EXPECT_EQ(ff.laserCycles, ref.laserCycles);
+    EXPECT_GT(ff.residencyWl8, 0.9);
+    EXPECT_EQ(ff.residencyWl8, ref.residencyWl8);
+    EXPECT_NEAR(ff.laserEnergyJ, ref.laserEnergyJ,
+                1e-9 * ref.laserEnergyJ);
+}
+
+// Runtime invariant checker ------------------------------------------------
+
+TEST(Invariants, AuditsEveryStepSilently)
+{
+    const core::PearlConfig cfg = smallConfig();
+    const photonic::PowerModel power;
+    core::ReactivePolicy policy;
+    core::PearlNetwork net(cfg, power, core::DbaConfig{}, &policy);
+    Invariants inv;
+    net.setAuditor(&inv);
+    TrafficGen traffic(7, 0.15, 0.10, cfg.numNodes());
+    for (Cycle i = 0; i < 600; ++i) {
+        for (const sim::Packet &pkt : traffic.cycleTraffic(net.cycle()))
+            net.inject(pkt);
+        ASSERT_NO_THROW(net.step());
+        net.delivered().clear();
+    }
+    EXPECT_EQ(inv.stepsAudited(), 600u);
+}
+
+TEST(Invariants, ConservationHoldsOnBalancedCounts)
+{
+    core::AuditCounts c;
+    c.injected = 10;
+    c.delivered = 4;
+    c.buffered = 3;
+    c.inFlight = 3;
+    EXPECT_FALSE(checkConservation(c, false).has_value());
+
+    // Fault plane: 2 of the 3 in-flight packets still await their fault
+    // check (their source copies are among the 3 outstanding); the third
+    // source copy is a reservation-dropped packet in limbo awaiting its
+    // ACK timeout.  The retransmission count never enters the balance:
+    // each reinjection consumed one queued loss.
+    c.retransmitted = 2;
+    c.inFlightUnchecked = 2;
+    c.outstanding = 3;
+    c.dropped = 1;
+    c.buffered = 2;
+    c.delivered = 3;
+    EXPECT_FALSE(checkConservation(c, true).has_value());
+}
+
+TEST(Invariants, ConservationCatchesUndercountedDelivery)
+{
+    core::AuditCounts c;
+    c.injected = 10;
+    c.delivered = 4;
+    c.buffered = 3;
+    c.inFlight = 3;
+    --c.delivered; // the planted bug
+    const auto violation = checkConservation(c, false);
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_NE(violation->find("conservation"), std::string::npos);
+}
+
+TEST(Invariants, ConservationCatchesOutstandingUnderflow)
+{
+    core::AuditCounts c;
+    c.injected = 1;
+    c.inFlight = 1;
+    c.inFlightUnchecked = 1;
+    c.outstanding = 0; // fewer source copies than unchecked instances
+    EXPECT_TRUE(checkConservation(c, true).has_value());
+}
+
+TEST(Invariants, RuntimeChecksEnabledFollowsEnv)
+{
+    ::setenv("PEARL_VERIFY", "1", 1);
+    EXPECT_TRUE(runtimeChecksEnabled());
+    ::setenv("PEARL_VERIFY", "0", 1);
+    EXPECT_FALSE(runtimeChecksEnabled());
+    ::unsetenv("PEARL_VERIFY");
+#ifdef NDEBUG
+    EXPECT_FALSE(runtimeChecksEnabled());
+#else
+    EXPECT_TRUE(runtimeChecksEnabled());
+#endif
+}
+
+// Fuzzer --------------------------------------------------------------------
+
+TEST(Fuzzer, GeneratedConfigsAlwaysValidate)
+{
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        const FuzzCase c = generateCase(0xABCD, i);
+        const auto cfg = toPearlConfig(c);
+        const auto v = core::validate(cfg);
+        EXPECT_TRUE(v.hasValue())
+            << "case " << i << ": " << v.error().message << "\n"
+            << describeCase(c);
+        EXPECT_TRUE(core::validate(toDbaConfig(c)).hasValue());
+    }
+}
+
+TEST(Fuzzer, CasesAreDeterministicInSeedAndIndex)
+{
+    const FuzzCase a = generateCase(42, 7);
+    const FuzzCase b = generateCase(42, 7);
+    EXPECT_EQ(describeCase(a), describeCase(b));
+    const FuzzCase other = generateCase(42, 8);
+    EXPECT_NE(describeCase(a), describeCase(other));
+}
+
+TEST(Fuzzer, ReproducerRoundTrips)
+{
+    const FuzzCase c = generateCase(0xBEEF, 3);
+    std::stringstream file;
+    file << "# pearl fuzz reproducer\n" << describeCase(c);
+    FuzzCase parsed;
+    ASSERT_TRUE(parseReproducer(file, parsed));
+    EXPECT_EQ(describeCase(parsed), describeCase(c));
+
+    std::stringstream truncated("seed=1\nnumClusters=2\n");
+    FuzzCase incomplete;
+    EXPECT_FALSE(parseReproducer(truncated, incomplete));
+}
+
+TEST(Fuzzer, ShrinkReachesFixpointOnSyntheticPredicate)
+{
+    FuzzCase start = generateCase(1, 0);
+    start.cycles = 600;
+    start.cpuRate = 0.1;
+    start.gpuRate = 0.05;
+    start.faultsEnabled = true;
+    start.baseBer = 1e-3;
+    start.reservationDropRate = 0.01;
+    start.bankMtbfCycles = 500.0;
+    start.numClusters = 4;
+    start.policy = static_cast<int>(PolicyKind::Guarded);
+
+    const auto predicate = [](const FuzzCase &c) {
+        return c.cycles >= 64 && c.cpuRate > 0.0;
+    };
+    ASSERT_TRUE(predicate(start));
+    const FuzzCase minimal = shrinkCase(start, predicate);
+    EXPECT_TRUE(predicate(minimal));
+    EXPECT_EQ(minimal.cycles, 75u); // 600 -> 300 -> 150 -> 75 (37 < 64)
+    EXPECT_FALSE(minimal.faultsEnabled);
+    EXPECT_EQ(minimal.baseBer, 0.0);
+    EXPECT_EQ(minimal.reservationDropRate, 0.0);
+    EXPECT_EQ(minimal.bankMtbfCycles, 0.0);
+    EXPECT_EQ(minimal.gpuRate, 0.0);
+    EXPECT_EQ(minimal.numClusters, 2);
+    EXPECT_EQ(minimal.policy, static_cast<int>(PolicyKind::Static));
+}
+
+/** The injected-bug drill's instrumented run: execute the optimized
+ *  simulator alone, under-report the delivered count by one, and ask
+ *  the conservation check whether it notices. */
+bool
+buggedRunTripsConservation(const FuzzCase &c)
+{
+    const DiffCase d = toDiffCase(c);
+    const photonic::PowerModel power{};
+    const auto policy = d.makePolicy();
+    core::PearlNetwork net(d.cfg, power, d.dba, policy.get());
+    TrafficGen traffic(d.trafficSeed, d.cpuRate, d.gpuRate,
+                       d.cfg.numNodes());
+    for (Cycle i = 0; i < d.cycles; ++i) {
+        for (const sim::Packet &pkt : traffic.cycleTraffic(net.cycle()))
+            net.inject(pkt);
+        net.step();
+        net.delivered().clear();
+        core::AuditCounts counts = net.auditCounts();
+        if (counts.delivered > 0)
+            --counts.delivered; // the planted conservation bug
+        if (checkConservation(counts, net.faults().enabled()))
+            return true;
+    }
+    return false;
+}
+
+TEST(Fuzzer, InjectedConservationBugIsCaughtShrunkAndPersisted)
+{
+    // Find a fuzzed case where the planted undercount is observable
+    // (any case that delivers at least one packet qualifies).
+    FuzzCase failing;
+    bool found = false;
+    for (std::uint64_t i = 0; i < 40 && !found; ++i) {
+        const FuzzCase c = generateCase(0xB06, i);
+        if (buggedRunTripsConservation(c)) {
+            failing = c;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found) << "no fuzzed case delivered any packet";
+
+    const FuzzCase minimal =
+        shrinkCase(failing, buggedRunTripsConservation);
+    EXPECT_TRUE(buggedRunTripsConservation(minimal));
+    EXPECT_LE(minimal.cycles, failing.cycles);
+
+    // The minimal reproducer round-trips through disk and still fails.
+    const std::string path =
+        ::testing::TempDir() + "/pearl_bug_reproducer.txt";
+    std::remove(path.c_str());
+    writeReproducer(minimal, "delivered undercounted by one", path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    FuzzCase replayed;
+    ASSERT_TRUE(parseReproducer(in, replayed));
+    EXPECT_EQ(describeCase(replayed), describeCase(minimal));
+    EXPECT_TRUE(buggedRunTripsConservation(replayed));
+    std::remove(path.c_str());
+}
+
+TEST(Fuzzer, CampaignFindsNoDivergence)
+{
+    // The acceptance gate: seed-pinned fuzzed configs across policies,
+    // DBA modes and fault schedules, reference vs optimized, with the
+    // invariant checker riding on the optimized side.  Budgets come
+    // from the environment so CI can time-box the smoke run.
+    FuzzOptions opts;
+    opts.baseSeed = envU64("PEARL_FUZZ_SEED", 0xF0CC);
+    opts.maxCases = envU64("PEARL_FUZZ_CASES", 200);
+    opts.maxSeconds = envDouble("PEARL_FUZZ_SECONDS", 0.0);
+    opts.reproducerPath =
+        ::testing::TempDir() + "/pearl_fuzz_reproducer.txt";
+
+    const FuzzReport report = runFuzz(opts);
+    EXPECT_FALSE(report.failed)
+        << report.description << "\nminimal reproducer ("
+        << opts.reproducerPath << "):\n"
+        << describeCase(report.minimal);
+    EXPECT_GE(report.casesRun, 1u);
+}
+
+} // namespace
+} // namespace verify
+} // namespace pearl

@@ -1,0 +1,8 @@
+# Included by ctest after test_verify's generated discovery file (see
+# TEST_INCLUDE_FILES in CMakeLists.txt).  At this point the full test
+# list is available and set_tests_properties handles a proper ;-list,
+# which gtest_discover_tests(PROPERTIES LABELS ...) cannot transport.
+if(DEFINED test_verify_TESTS AND test_verify_TESTS)
+    set_tests_properties(${test_verify_TESTS}
+                         PROPERTIES LABELS "tier1;verify")
+endif()
