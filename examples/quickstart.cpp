@@ -16,9 +16,11 @@
  * then load quickstart_trace.json at https://ui.perfetto.dev.
  */
 
+#include <cstring>
 #include <iostream>
 #include <memory>
 
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "metrics/runner.hpp"
 #include "traffic/suite.hpp"
@@ -26,8 +28,16 @@
 using namespace pearl;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // `--env-help` prints the registry of PEARL_* runtime knobs (the
+    // same single source of truth the README tables are built from).
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--env-help") == 0) {
+            std::cout << envHelp();
+            return 0;
+        }
+    }
     traffic::BenchmarkSuite suite;
     // Fluid Animate (CPU) running alongside DCT (GPU) — a Table IV pair.
     traffic::BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};

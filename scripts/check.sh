@@ -14,6 +14,11 @@
 # runs only tests labelled `verify` with the runtime invariant checker
 # forced on, and budgets the fuzz campaign through PEARL_FUZZ_CASES /
 # PEARL_FUZZ_SECONDS (defaults: 200 seed-pinned cases, 30 s box).
+# The label also covers the scale-out smokes: a 64-cluster grouped chip
+# through the Runner facade (Invariants.ScaleOut64ClusterSmoke, pinned
+# seed, bounded cycles) and the 128-cluster invariant-clean run
+# (Invariants.MaxScaleChipRunsInvariantClean), both audited step by
+# step under ASan.
 
 set -eu
 

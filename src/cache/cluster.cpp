@@ -76,11 +76,11 @@ ClusterNode::ClusterNode(int id, const HomeMap &home,
     // whole chip.
     for (int c = 0; c < cpu_cores; ++c) {
         cpuCores_.emplace_back(cpu_prof, id * 64 + c, rng.fork(),
-                               cpu_phase);
+                               cpu_phase, cfg.sharedLines);
     }
     for (int g = 0; g < gpu_cus; ++g) {
         gpuCores_.emplace_back(gpu_prof, id * 64 + 32 + g, rng.fork(),
-                               gpu_phase);
+                               gpu_phase, cfg.sharedLines);
     }
 
     outstanding_[static_cast<int>(CoreType::CPU)].assign(cpu_cores, 0);

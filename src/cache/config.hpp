@@ -39,6 +39,15 @@ struct HierarchyConfig
     std::uint64_t l3Lines = 131072;   //!< 8 MB
     int l3Ways = 16;
 
+    /**
+     * Shared-region size of the demand generators, in lines (the
+     * traffic::AddressSpace::kSharedLines legacy default).  Scale-out
+     * chips weak-scale this with the cluster count (core::makeSystemConfig)
+     * so per-line coherence contention — the serial fraction of the
+     * workload — stays constant as the chip grows.
+     */
+    std::uint64_t sharedLines = 2048;
+
     // Latencies in network cycles (2 GHz network clock) --------------------
     std::uint64_t l1ToL2Cycles = 2;   //!< L1 miss to L2 access (local hop)
     std::uint64_t l2AccessCycles = 4; //!< L2 array access

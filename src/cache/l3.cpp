@@ -37,7 +37,8 @@ L3Bank::L3Bank(sim::NodeId node_id, int num_clusters,
       l3_(cfg.l3Lines / static_cast<std::uint64_t>(map.numBanks),
           cfg.l3Ways)
 {
-    PEARL_ASSERT(num_clusters <= 16, "directory mask is 16 bits wide");
+    PEARL_ASSERT(num_clusters <= kMaxClusters,
+                 "directory mask is kMaxClusters bits wide");
     mshr_.reserve(64);
     events_.reserve(64);
 }
@@ -158,7 +159,6 @@ L3Bank::serviceHead(std::uint64_t addr, L3Array::Line &line, Cycle now)
     Transaction &tx = *txp;
     PEARL_ASSERT(!tx.requests.empty());
     const PendingReq &head = tx.requests.front();
-    const std::uint16_t self = static_cast<std::uint16_t>(1u << head.cluster);
 
     if (head.op == CoherenceOp::Read) {
         if (line.meta.owner >= 0 && line.meta.owner != head.cluster) {
@@ -169,24 +169,25 @@ L3Bank::serviceHead(std::uint64_t addr, L3Array::Line &line, Cycle now)
                           CoherenceOp::ProbeShare, addr, now);
             return;
         }
-        const bool exclusive = line.meta.owner < 0 &&
-                               (line.meta.sharers & ~self) == 0;
+        const bool exclusive =
+            line.meta.owner < 0 &&
+            line.meta.sharers.noneExcept(head.cluster);
         finishHead(addr, line, exclusive, now);
         return;
     }
 
     // ReadExcl: every other holder must be invalidated first.
     PEARL_ASSERT(head.op == CoherenceOp::ReadExcl);
-    std::uint16_t holders =
-        static_cast<std::uint16_t>(line.meta.sharers & ~self);
+    SharerMask holders = line.meta.sharers;
+    holders.clear(head.cluster);
     if (line.meta.owner >= 0 && line.meta.owner != head.cluster)
-        holders |= static_cast<std::uint16_t>(1u << line.meta.owner);
+        holders.set(line.meta.owner);
 
-    if (holders) {
+    if (holders.any()) {
         tx.phase = Transaction::Phase::Invalidating;
         tx.pendingAcks = 0;
         for (int c = 0; c < numClusters_; ++c) {
-            if (holders & (1u << c)) {
+            if (holders.test(c)) {
                 ++tx.pendingAcks;
                 ++stats_.invalidationsSent;
                 sendToCluster(c, head.type, CoherenceOp::ProbeInv, addr,
@@ -209,14 +210,13 @@ L3Bank::finishHead(std::uint64_t addr, L3Array::Line &line, bool exclusive,
     tx.requests.erase(tx.requests.begin());
 
     // Directory update.
-    const std::uint16_t self = static_cast<std::uint16_t>(1u << head.cluster);
     if (head.op == CoherenceOp::ReadExcl) {
-        line.meta.sharers = self;
-        line.meta.owner = static_cast<std::int8_t>(head.cluster);
+        line.meta.sharers = SharerMask::bit(head.cluster);
+        line.meta.owner = static_cast<std::int16_t>(head.cluster);
     } else {
-        line.meta.sharers |= self;
+        line.meta.sharers.set(head.cluster);
         if (exclusive)
-            line.meta.owner = static_cast<std::int8_t>(head.cluster);
+            line.meta.owner = static_cast<std::int16_t>(head.cluster);
     }
 
     sendToCluster(head.cluster, head.type,
@@ -268,8 +268,7 @@ L3Bank::handleProbeReply(const Packet &pkt, Cycle now)
             // re-probing.  Without this, every read of a shared line
             // would probe the first toucher forever (a probe storm).
             line->meta.dirty = true;
-            line->meta.sharers |= static_cast<std::uint16_t>(
-                1u << line->meta.owner);
+            line->meta.sharers.set(line->meta.owner);
             line->meta.owner = -1;
         } else {
             // The owner no longer holds the line (silent eviction or a
@@ -285,8 +284,7 @@ L3Bank::handleProbeReply(const Packet &pkt, Cycle now)
         if (pkt.op == CoherenceOp::Data)
             line->meta.dirty = true;
         const int src_cluster = pkt.src;
-        line->meta.sharers &=
-            static_cast<std::uint16_t>(~(1u << src_cluster));
+        line->meta.sharers.clear(src_cluster);
         if (line->meta.owner == src_cluster)
             line->meta.owner = -1;
         if (--tx.pendingAcks == 0) {
@@ -313,8 +311,7 @@ L3Bank::handleWriteback(const Packet &pkt, Cycle now)
     }
     line->meta.dirty = true;
     const int src = pkt.src;
-    line->meta.sharers = static_cast<std::uint16_t>(
-        line->meta.sharers & ~(1u << src));
+    line->meta.sharers.clear(src);
     if (line->meta.owner == src)
         line->meta.owner = -1;
 }
@@ -326,11 +323,11 @@ L3Bank::evictVictim(L3Array::Line &victim, Cycle now)
         return;
     // Back-invalidate remote holders (fire and forget; their acks are
     // absorbed by handleProbeReply's no-transaction path).
-    std::uint16_t holders = victim.meta.sharers;
+    SharerMask holders = victim.meta.sharers;
     if (victim.meta.owner >= 0)
-        holders |= static_cast<std::uint16_t>(1u << victim.meta.owner);
+        holders.set(victim.meta.owner);
     for (int c = 0; c < numClusters_; ++c) {
-        if (holders & (1u << c)) {
+        if (holders.test(c)) {
             ++stats_.invalidationsSent;
             // Core type is unknown at eviction; CPU class is used for the
             // accounting label.

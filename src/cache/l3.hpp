@@ -2,9 +2,10 @@
  * @file
  * An L3 bank + directory slice.
  *
- * The 8 MB shared L3 is banked across the 16 cluster routers (one slice
+ * The 8 MB shared L3 is banked across the cluster routers (one slice
  * per tile, Figure 1b); each bank owns the lines the HomeMap hashes to it
- * and runs a full-map directory over the 16 clusters.  Transactions are
+ * and runs a full-map directory over up to kMaxClusters clusters
+ * (SharerMask holds the sharer set).  Transactions are
  * serialised per line with an MSHR: reads may require a share-probe of
  * the owning cluster, read-for-ownership invalidates every holder, and
  * bank misses fetch from the memory-controller node over the network
@@ -21,6 +22,7 @@
 #include "cache/cache_array.hpp"
 #include "cache/config.hpp"
 #include "cache/home_map.hpp"
+#include "cache/sharer_mask.hpp"
 #include "sim/min_heap.hpp"
 #include "sim/packet.hpp"
 #include "sim/sink.hpp"
@@ -108,8 +110,8 @@ class L3Bank
     /** Directory metadata per line. */
     struct DirMeta
     {
-        std::uint16_t sharers = 0; //!< bitmask of clusters with a copy
-        std::int8_t owner = -1;    //!< cluster holding M/O/N, or -1
+        SharerMask sharers;        //!< clusters with a copy
+        std::int16_t owner = -1;   //!< cluster holding M/O/N, or -1
         bool dirty = false;        //!< bank data newer than memory
     };
 

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-width sharer bitmask for the L3 full-map directory.
+ *
+ * The directory used to track sharers in a raw uint16_t, hard-bounding
+ * the chip at 16 clusters.  SharerMask is the scale-out replacement: a
+ * two-word 128-bit mask with the same set/clear/test semantics, sized
+ * by kMaxClusters (the TopologySpec ceiling).  Operations never
+ * allocate and the mask is trivially copyable, so DirMeta stays a plain
+ * value inside the cache array lines.
+ */
+
+#ifndef PEARL_CACHE_SHARER_MASK_HPP
+#define PEARL_CACHE_SHARER_MASK_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace pearl {
+namespace cache {
+
+/** Hard ceiling on the cluster count (directory mask width). */
+constexpr int kMaxClusters = 128;
+
+/** Full-map directory sharer set over up to kMaxClusters clusters. */
+struct SharerMask
+{
+    std::array<std::uint64_t, 2> words{};
+
+    static constexpr SharerMask
+    bit(int cluster)
+    {
+        SharerMask m;
+        m.words[static_cast<std::size_t>(cluster >> 6)] =
+            std::uint64_t{1} << (cluster & 63);
+        return m;
+    }
+
+    constexpr void
+    set(int cluster)
+    {
+        words[static_cast<std::size_t>(cluster >> 6)] |=
+            std::uint64_t{1} << (cluster & 63);
+    }
+
+    constexpr void
+    clear(int cluster)
+    {
+        words[static_cast<std::size_t>(cluster >> 6)] &=
+            ~(std::uint64_t{1} << (cluster & 63));
+    }
+
+    constexpr bool
+    test(int cluster) const
+    {
+        return (words[static_cast<std::size_t>(cluster >> 6)] >>
+                (cluster & 63)) &
+               1u;
+    }
+
+    constexpr bool
+    any() const
+    {
+        return (words[0] | words[1]) != 0;
+    }
+
+    constexpr bool none() const { return !any(); }
+
+    /** True when no cluster other than `cluster` is in the set. */
+    constexpr bool
+    noneExcept(int cluster) const
+    {
+        SharerMask others = *this;
+        others.clear(cluster);
+        return others.none();
+    }
+
+    constexpr SharerMask
+    operator|(const SharerMask &o) const
+    {
+        return {{words[0] | o.words[0], words[1] | o.words[1]}};
+    }
+
+    constexpr bool
+    operator==(const SharerMask &o) const
+    {
+        return words == o.words;
+    }
+};
+
+} // namespace cache
+} // namespace pearl
+
+#endif // PEARL_CACHE_SHARER_MASK_HPP

@@ -10,12 +10,15 @@
 #ifndef PEARL_COMMON_ENV_HPP
 #define PEARL_COMMON_ENV_HPP
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <cstdint>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/log.hpp"
 
@@ -172,6 +175,138 @@ envBool(const char *name, bool fallback)
         return fallback;
     }
     return out;
+}
+
+/** One documented runtime knob (an entry of envRegistry()). */
+struct EnvKnob
+{
+    const char *name;     //!< environment variable
+    const char *type;     //!< "bool", "u64", "double" or "string"
+    const char *fallback; //!< human-readable default
+    const char *summary;  //!< one-line description of the effect
+};
+
+/**
+ * Single source of truth for every PEARL_* runtime environment knob.
+ * The README's knob tables are generated from this list (the drift
+ * test in test_common pins them to each other), and envHelp() renders
+ * it for `quickstart --env-help`.  Add new knobs HERE when you add the
+ * env*() call site, keeping each group alphabetical.
+ */
+inline const std::vector<EnvKnob> &
+envRegistry()
+{
+    static const std::vector<EnvKnob> knobs = {
+        // Simulation core.
+        {"PEARL_FAST_FORWARD", "bool", "1",
+         "analytic idle fast-forward in system runs; set 0 to force "
+         "cycle-by-cycle stepping"},
+        {"PEARL_VERIFY", "bool", "0",
+         "install the invariant auditor on every network built through "
+         "the Runner facade (packet conservation, buffer and express "
+         "legality each cycle)"},
+        // Observability.
+        {"PEARL_METRICS_DUMP", "string", "unset",
+         "append every run's metrics as canonical CSV rows to this "
+         "file"},
+        {"PEARL_TRACE", "bool", "0",
+         "emit a structured event trace for each run"},
+        {"PEARL_TRACE_PATH", "string", "pearl_trace.json",
+         "trace output path; extension picks the sink (.jsonl or "
+         "Chrome .json)"},
+        // Sweep engine.
+        {"PEARL_SWEEP_JOURNAL", "string", "unset",
+         "crash-safe checkpoint journal: finished jobs append here"},
+        {"PEARL_SWEEP_RESUME", "bool", "0",
+         "restore finished jobs from the journal instead of re-running "
+         "them"},
+        {"PEARL_SWEEP_RETRY", "u64", "0",
+         "extra attempts for a failed sweep job with the identical "
+         "seed; config errors still fail fast"},
+        {"PEARL_SWEEP_THREADS", "u64", "hardware threads",
+         "worker threads for every sweep"},
+        // Guarded-ML thresholds (ml::GuardrailConfig::fromEnv).
+        {"PEARL_GUARD_ENTER_ERROR", "double", "0.7",
+         "windowed mean error above this counts against the model"},
+        {"PEARL_GUARD_ENTER_STREAK", "u64", "4",
+         "consecutive bad windows before falling back to the reactive "
+         "policy"},
+        {"PEARL_GUARD_ERROR_WINDOW", "u64", "8",
+         "samples per guard error window"},
+        {"PEARL_GUARD_EXIT_ERROR", "double", "0.4",
+         "windowed mean error below this counts toward recovery"},
+        {"PEARL_GUARD_EXIT_STREAK", "u64", "8",
+         "consecutive good windows before returning to ML"},
+        {"PEARL_GUARD_MAX_PREDICTION", "double", "1e6",
+         "predictions above this many packets are clamped as insane"},
+        // Benchmarks (bench/*).
+        {"PEARL_BENCH_CSV", "u64", "0",
+         "non-zero appends a CSV copy after each bench table"},
+        {"PEARL_BENCH_CYCLES", "u64", "60000",
+         "measured cycles per bench run"},
+        {"PEARL_BENCH_JSON", "string", "per-bench",
+         "committed-baseline JSON path (bench_hotpath, "
+         "bench_ext_scaling)"},
+        {"PEARL_BENCH_PAIRS", "u64", "0 (= all)",
+         "cap on benchmark pairs a figure aggregates over"},
+        {"PEARL_BENCH_REPS", "u64", "3",
+         "repetitions per timing bench; the best rep is reported"},
+        {"PEARL_BENCH_TRAIN", "u64", "30000",
+         "training-simulation cycles for ML benches"},
+        {"PEARL_BENCH_TRAIN_PAIRS", "u64", "0 (= all)",
+         "cap on training pairs for ML benches"},
+        {"PEARL_BENCH_WARMUP", "u64", "per-bench",
+         "warm-up cycles excluded from measurement (10000 for figure "
+         "benches, 2000 for bench_hotpath)"},
+        // Tests and fuzzing.
+        {"PEARL_FUZZ_CASES", "u64", "200",
+         "differential fuzz cases per campaign"},
+        {"PEARL_FUZZ_SECONDS", "double", "0 (= unlimited)",
+         "wall-clock budget for a fuzz campaign"},
+        {"PEARL_FUZZ_SEED", "u64", "0xF0CC",
+         "base seed a fuzz campaign derives every case from"},
+        {"PEARL_UPDATE_GOLDEN", "u64", "0",
+         "non-zero makes test_golden_metrics regenerate the golden "
+         "CSVs instead of diffing"},
+        // Scripts.
+        {"PEARL_CHECK_JOBS", "u64", "4",
+         "parallel build jobs for scripts/check.sh"},
+    };
+    return knobs;
+}
+
+/** Plain-text rendering of envRegistry() (for --env-help flags). */
+inline std::string
+envHelp()
+{
+    std::size_t width = 0;
+    for (const EnvKnob &k : envRegistry())
+        width = std::max(width, std::string(k.name).size());
+    std::ostringstream os;
+    os << "Runtime environment knobs (unset or unparseable values fall "
+          "back to the default):\n";
+    for (const EnvKnob &k : envRegistry()) {
+        os << "  " << k.name
+           << std::string(width - std::string(k.name).size(), ' ')
+           << "  [" << k.type << ", default " << k.fallback << "] "
+           << k.summary << '\n';
+    }
+    return os.str();
+}
+
+/** Markdown rendering of envRegistry(); the README embeds this table
+ *  verbatim (test_common checks for drift). */
+inline std::string
+envMarkdownTable()
+{
+    std::ostringstream os;
+    os << "| Variable | Type | Default | Effect |\n";
+    os << "| --- | --- | --- | --- |\n";
+    for (const EnvKnob &k : envRegistry()) {
+        os << "| `" << k.name << "` | " << k.type << " | " << k.fallback
+           << " | " << k.summary << " |\n";
+    }
+    return os.str();
 }
 
 } // namespace pearl

@@ -115,10 +115,84 @@ struct PearlConfig
     // buffers, control), watts.
     double routerStaticW = 0.15;
 
+    // Scale-out: grouped R-SWMR reservation domains ---------------------
+    /**
+     * Clusters per reservation domain (waveguide group).  0 keeps the
+     * legacy single chip-wide domain.  When >0 and smaller than
+     * numClusters, each contiguous block of this many cluster routers
+     * shares one reservation channel; packets crossing a group boundary
+     * (cluster-to-cluster only — hub traffic rides the hub waveguide
+     * group and is exempt) go through the per-group *express* plane:
+     * they acquire one of `resExpressSlots` slots from the source
+     * group's pool and pay the `expressReservationCycles` latency of
+     * the chip-wide express reservation channel, exposed only when the
+     * transmit channel comes out of idle (a busy channel hides the next
+     * packet's express broadcast behind the current packet's data, like
+     * the intra-group channel does).  Derive these through
+     * core::TopologySpec rather than setting them by hand.
+     */
+    int reservationGroupSize = 0;
+    /** Concurrent inter-group reservations a group may hold. */
+    int resExpressSlots = 4;
+    /** Reservation cycles for inter-group (express) packets. */
+    int expressReservationCycles = 3;
+    /** Per-group express reservation-channel laser power, watts
+     *  (accrued only when the chip has more than one group). */
+    double expressResLaserW = 0.0;
+
+    /**
+     * When true, a router's class channel may complete up to
+     * `waveguides` packets per cycle — the waveguide group's parallel
+     * serializers drain independent packets side by side instead of
+     * strictly one at a time.  Matters only for the hub (the one router
+     * with a waveguide group): without it the hub serialises memory
+     * fills at ~1 packet/cycle/class no matter how many waveguides it
+     * has, which caps the whole chip past ~32 clusters.  Off by default
+     * (legacy single-serializer hub); TopologySpec switches it on for
+     * chips above 16 clusters.
+     */
+    bool multiPacketTx = false;
+
     int
     numNodes() const
     {
         return numClusters + 1;
+    }
+
+    /** True when the chip has more than one reservation domain. */
+    bool
+    grouped() const
+    {
+        return reservationGroupSize > 0 &&
+               reservationGroupSize < numClusters;
+    }
+
+    /** Reservation domains on the chip (1 when ungrouped). */
+    int
+    numGroups() const
+    {
+        return grouped() ? numClusters / reservationGroupSize : 1;
+    }
+
+    /** Reservation domain of a node, or -1 for the hub node (hub
+     *  traffic is exempt from express arbitration). */
+    int
+    groupOf(int node) const
+    {
+        if (!grouped() || node == l3Node || node >= numClusters)
+            return -1;
+        return node / reservationGroupSize;
+    }
+
+    /** True when a src->dst packet crosses a group boundary. */
+    bool
+    interGroup(int src, int dst) const
+    {
+        if (!grouped())
+            return false;
+        const int gs = groupOf(src);
+        const int gd = groupOf(dst);
+        return gs >= 0 && gd >= 0 && gs != gd;
     }
 };
 

@@ -51,12 +51,20 @@ PearlNetwork::PearlNetwork(const PearlConfig &cfg,
         retx_.reserve(inflight_bound);
         blockedScratch_.reserve(inflight_bound);
     }
+    if (cfg_.grouped()) {
+        // Per-group DBA: a class-aware allocator also partitions the
+        // express pool between the classes.
+        express_.configure(cfg_.numGroups(), cfg_.resExpressSlots,
+                           dba.mode != DbaConfig::Mode::Fcfs);
+    }
     Rng thermal_rng(0xA11CE);
     for (int r = 0; r < cfg_.numNodes(); ++r) {
         const bool is_l3 = r == cfg_.l3Node;
         routers_.push_back(std::make_unique<PearlRouter>(
             r, cfg_, is_l3 ? l3Power_ : routerPower_, dba,
             is_l3 ? cfg_.l3WaveguideGroup : 1));
+        if (cfg_.grouped())
+            routers_.back()->setExpressArbiter(&express_);
         if (cfg_.useThermalModel) {
             const int rings =
                 cfg_.txRings * (is_l3 ? cfg_.l3WaveguideGroup : 1) +
@@ -168,7 +176,24 @@ PearlNetwork::step()
     for (auto &f : retryScratch_)
         inFlight_.push(std::move(f));
 
+    // 1b. Group-local fault caps: a group's express pool shrinks with
+    //     its own failed laser banks (never below one slot), so a sick
+    //     domain cannot drag the others' express bandwidth down.
+    if (cfg_.grouped() && faults_.enabled()) {
+        const int gs = cfg_.reservationGroupSize;
+        for (int g = 0; g < cfg_.numGroups(); ++g) {
+            int failed = 0;
+            for (int r = g * gs; r < (g + 1) * gs; ++r)
+                failed += faults_.failedBanks(r);
+            express_.setCap(
+                g, std::max(1, cfg_.resExpressSlots - failed));
+        }
+    }
+
     // 2. Transmit: serialise flits onto each router's waveguide.
+    // Routers run in ascending id (CPU class before GPU within each),
+    // which is also the express-slot arbitration order on grouped
+    // chips — deterministic and mirrored by verify::RefNetwork.
     for (std::size_t r = 0; r < routers_.size(); ++r) {
         auto &router = routers_[r];
         if (faults_.enabled())
@@ -253,6 +278,13 @@ PearlNetwork::step()
                     static_cast<int>(router->laser().state()))] *
                 cfg_.cycleSeconds;
         }
+    }
+    // Grouped chips keep one always-on express reservation channel per
+    // group; ungrouped chips accrue nothing here (bit-identity).
+    if (cfg_.grouped()) {
+        expressLaserEnergyJ_ += static_cast<double>(cfg_.numGroups()) *
+                                cfg_.expressResLaserW *
+                                cfg_.cycleSeconds;
     }
 
     // 5. Reservation-window boundaries (staggered per router).  One
@@ -428,6 +460,12 @@ PearlNetwork::advanceIdle(Cycle max_cycles)
                 static_cast<int>(router->laser().state()))] *
             cfg_.cycleSeconds * static_cast<double>(jump);
     }
+    if (cfg_.grouped()) {
+        expressLaserEnergyJ_ += static_cast<double>(cfg_.numGroups()) *
+                                cfg_.expressResLaserW *
+                                cfg_.cycleSeconds *
+                                static_cast<double>(jump);
+    }
     cycle_ += jump;
     return jump;
 }
@@ -594,6 +632,14 @@ PearlNetwork::describeState(std::ostream &os) const
     os << "PearlNetwork @ cycle " << cycle_ << ": inFlight="
        << inFlight_.size() << " pendingRetx=" << retx_.size()
        << " dropped=" << stats_.droppedPackets() << "\n";
+    if (cfg_.grouped()) {
+        os << "  express groups:";
+        for (int g = 0; g < cfg_.numGroups(); ++g)
+            os << " g" << g << "=" << express_.inUse(g) << "/"
+               << express_.cap(g);
+        os << " | acquired " << expressAcquired() << " stalls "
+           << expressStallCycles() << "\n";
+    }
     for (std::size_t r = 0; r < routers_.size(); ++r) {
         const auto &router = *routers_[r];
         const auto &inj = router.injectBuffers();
@@ -618,9 +664,27 @@ PearlNetwork::describeState(std::ostream &os) const
 double
 PearlNetwork::laserEnergyJ() const
 {
-    double total = 0.0;
+    double total = expressLaserEnergyJ_;
     for (const auto &router : routers_)
         total += router->laser().energyJ();
+    return total;
+}
+
+std::uint64_t
+PearlNetwork::expressAcquired() const
+{
+    std::uint64_t total = 0;
+    for (const auto &router : routers_)
+        total += router->expressAcquired();
+    return total;
+}
+
+std::uint64_t
+PearlNetwork::expressStallCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &router : routers_)
+        total += router->expressStallCycles();
     return total;
 }
 

@@ -143,6 +143,20 @@ class PearlNetwork : public sim::Network
     bool idle() const override;
     void describeState(std::ostream &os) const override;
 
+    // Grouped R-SWMR express plane ------------------------------------
+    /** The chip's express-slot arbiter (configured only when grouped). */
+    const ExpressArbiter &expressArbiter() const { return express_; }
+
+    /** Express slots acquired across the run (grouped chips only). */
+    std::uint64_t expressAcquired() const;
+
+    /** Head-of-line cycles lost waiting for an express slot. */
+    std::uint64_t expressStallCycles() const;
+
+    /** Energy of the per-group express reservation channels, joules
+     *  (also included in laserEnergyJ()). */
+    double expressLaserEnergyJ() const { return expressLaserEnergyJ_; }
+
     // Energy / power --------------------------------------------------
     double laserEnergyJ() const;
     double trimmingEnergyJ() const { return trimmingEnergyJ_; }
@@ -301,6 +315,11 @@ class PearlNetwork : public sim::Network
     sim::Cycle cycle_ = 0;
     double trimmingEnergyJ_ = 0.0;
     double dynamicEnergyJ_ = 0.0;
+    /** Grouped chips: per-group express reservation channels (slot pool
+     *  + always-on laser energy).  Inert when cfg_.grouped() is false,
+     *  so ungrouped chips stay bit-identical. */
+    ExpressArbiter express_;
+    double expressLaserEnergyJ_ = 0.0;
     /** Constants of the power model hoisted out of the cycle loop: the
      *  per-bit dynamic energy, and the trimming power per router per
      *  laser state (a pure function of both).  Values come from the

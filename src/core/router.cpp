@@ -17,7 +17,8 @@ PearlRouter::PearlRouter(int id, const PearlConfig &cfg,
     : id_(id), cfg_(cfg), waveguides_(waveguides), dba_(dba_cfg),
       inject_(cfg.cpuInjectSlots, cfg.gpuInjectSlots),
       rx_(cfg.rxSlotsPerClass, cfg.rxSlotsPerClass),
-      laser_(power_model, cfg.laserTurnOnCycles, cfg.initialState)
+      laser_(power_model, cfg.laserTurnOnCycles, cfg.initialState),
+      group_(cfg.groupOf(id))
 {
     telemetry_.wavelengths = photonic::wavelengths(cfg.initialState);
 }
@@ -88,8 +89,23 @@ PearlRouter::transmitClass(CoreType type, double share, int capacity_bits,
         // New head packet.  The reservation broadcast runs on its own
         // waveguide, so it overlaps the previous packet's data: the
         // overhead is only exposed when the channel comes out of idle.
+        if (express_ && cfg_.interGroup(id_, buf.front().dst)) {
+            // Inter-group head: win an express slot from this group's
+            // pool first.  The chip-wide express broadcast hides behind
+            // the previous packet's data like the intra-group one; its
+            // (longer) latency is exposed only out of idle.
+            if (!express_->tryAcquire(group_, type)) {
+                ++expressStallCycles_;
+                return 0; // head-of-line stall until a slot frees
+            }
+            ch.holdsExpressSlot = true;
+            ++expressAcquired_;
+            ch.resRemaining =
+                ch.backToBack ? 0 : cfg_.expressReservationCycles;
+        } else {
+            ch.resRemaining = ch.backToBack ? 0 : cfg_.reservationCycles;
+        }
         ch.active = true;
-        ch.resRemaining = ch.backToBack ? 0 : cfg_.reservationCycles;
         ch.flitsRemaining = buf.front().numFlits();
         ch.creditBits = 0;
     }
@@ -103,17 +119,49 @@ PearlRouter::transmitClass(CoreType type, double share, int capacity_bits,
         std::lround(share * static_cast<double>(capacity_bits));
     ch.creditBits += bits;
 
+    // A waveguide group's serializers can drain packets side by side;
+    // the single-waveguide (legacy) channel strictly serialises.
+    int packet_budget = cfg_.multiPacketTx ? waveguides_ : 1;
+
     int sent_bits = 0;
-    while (ch.creditBits >= sim::kFlitBits && ch.flitsRemaining > 0) {
-        ch.creditBits -= sim::kFlitBits;
-        --ch.flitsRemaining;
-        sent_bits += sim::kFlitBits;
-    }
-    if (ch.flitsRemaining == 0) {
+    while (true) {
+        while (ch.creditBits >= sim::kFlitBits && ch.flitsRemaining > 0) {
+            ch.creditBits -= sim::kFlitBits;
+            --ch.flitsRemaining;
+            sent_bits += sim::kFlitBits;
+        }
+        if (ch.flitsRemaining > 0)
+            break; // out of credit mid-packet; remainder carries over
         done.push_back(TxCompletion{buf.pop()});
         ch.active = false;
-        ch.creditBits = 0;
         ch.backToBack = true;
+        if (ch.holdsExpressSlot) {
+            // The slot covers the packet's whole serialisation; hand
+            // it back only now so the group's express concurrency is
+            // honest.
+            express_->release(group_, type);
+            ch.holdsExpressSlot = false;
+        }
+        --packet_budget;
+        if (packet_budget <= 0 || buf.empty() ||
+            ch.creditBits < sim::kFlitBits) {
+            ch.creditBits = 0; // credits never bank across packets
+            break;
+        }
+        // Another head this cycle (multi-packet drain): back-to-back,
+        // so no reservation is exposed, but an inter-group head still
+        // needs a slot from the pool.
+        if (express_ && cfg_.interGroup(id_, buf.front().dst)) {
+            if (!express_->tryAcquire(group_, type)) {
+                ++expressStallCycles_;
+                ch.creditBits = 0;
+                break;
+            }
+            ch.holdsExpressSlot = true;
+            ++expressAcquired_;
+        }
+        ch.active = true;
+        ch.flitsRemaining = buf.front().numFlits();
     }
     return sent_bits;
 }

@@ -18,6 +18,8 @@
 #ifndef PEARL_CORE_ROUTER_HPP
 #define PEARL_CORE_ROUTER_HPP
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "core/arch_config.hpp"
@@ -34,6 +36,101 @@ namespace core {
 struct TxCompletion
 {
     sim::Packet pkt;
+};
+
+/**
+ * Per-group express-slot pool for grouped R-SWMR chips.
+ *
+ * When the chip has more than one reservation domain
+ * (cfg.grouped()), a cluster-to-cluster packet crossing a group
+ * boundary must hold one of its source group's express slots for the
+ * packet's whole serialisation — the slot stands in for a wavelength
+ * on the group's shared express reservation channel.  Owned by
+ * PearlNetwork; routers acquire in ascending router id (CPU class
+ * before GPU within a router), which the verification plane's
+ * lockstep mirror reproduces, so arbitration is deterministic.
+ *
+ * Per-group DBA: under a class-aware allocator (mode != Fcfs) the pool
+ * is split between the classes (CPU gets the ceiling half) so a GPU
+ * burst cannot monopolise the group's express plane — the same
+ * fairness contract the per-router DBA gives the data waveguide.
+ *
+ * Group-local fault caps: the network lowers a group's cap to
+ * max(1, slots - failedLaserBanksInGroup) every cycle while the fault
+ * plane is on, so a failing group degrades its own express bandwidth
+ * without dragging the other domains down.  A cap reduction never
+ * revokes slots already held; it only blocks new acquisitions.
+ */
+class ExpressArbiter
+{
+  public:
+    void
+    configure(int num_groups, int slots, bool class_split)
+    {
+        slots_ = slots;
+        classSplit_ = class_split;
+        use_.assign(static_cast<std::size_t>(num_groups), {{0, 0}});
+        cap_.assign(static_cast<std::size_t>(num_groups), slots);
+    }
+
+    /** Lower/restore a group's slot cap (fault containment). */
+    void
+    setCap(int group, int cap)
+    {
+        cap_[static_cast<std::size_t>(group)] = cap;
+    }
+
+    bool
+    tryAcquire(int group, sim::CoreType type)
+    {
+        const auto g = static_cast<std::size_t>(group);
+        const int total = use_[g].perClass[0] + use_[g].perClass[1];
+        if (total >= cap_[g])
+            return false;
+        const int ci = static_cast<int>(type);
+        if (classSplit_ && use_[g].perClass[ci] >= classCap(cap_[g], type))
+            return false;
+        ++use_[g].perClass[ci];
+        return true;
+    }
+
+    void
+    release(int group, sim::CoreType type)
+    {
+        --use_[static_cast<std::size_t>(group)]
+              .perClass[static_cast<int>(type)];
+    }
+
+    int
+    inUse(int group) const
+    {
+        const auto &u = use_[static_cast<std::size_t>(group)];
+        return u.perClass[0] + u.perClass[1];
+    }
+
+    int cap(int group) const { return cap_[static_cast<std::size_t>(group)]; }
+    int slots() const { return slots_; }
+
+    /** Class share of a group's cap: CPU takes the ceiling half.  Both
+     *  shares are >= 1 so a cap of 1 serialises the classes on the
+     *  total-cap check instead of starving one outright. */
+    static int
+    classCap(int cap, sim::CoreType type)
+    {
+        return type == sim::CoreType::CPU ? (cap + 1) / 2
+                                          : std::max(1, cap / 2);
+    }
+
+  private:
+    struct Use
+    {
+        int perClass[sim::kNumCoreTypes];
+    };
+
+    int slots_ = 0;
+    bool classSplit_ = false;
+    std::vector<Use> use_;
+    std::vector<int> cap_;
 };
 
 /** One PEARL router. */
@@ -134,15 +231,31 @@ class PearlRouter
         int resRemaining = 0;
         int flitsRemaining = 0;
         long creditBits = 0;
+        bool holdsExpressSlot = false;
     };
 
     TxAudit
     txAudit(sim::CoreType type) const
     {
         const TxChannel &ch = tx_[static_cast<int>(type)];
-        return {ch.active, ch.backToBack, ch.resRemaining,
-                ch.flitsRemaining, ch.creditBits};
+        return {ch.active,         ch.backToBack, ch.resRemaining,
+                ch.flitsRemaining, ch.creditBits, ch.holdsExpressSlot};
     }
+
+    // Grouped R-SWMR express plane ------------------------------------
+    /** Install the chip's express arbiter (grouped chips only; owned by
+     *  the network).  Must be called before the first transmitCycle. */
+    void
+    setExpressArbiter(ExpressArbiter *arbiter)
+    {
+        express_ = arbiter;
+    }
+
+    /** This router's reservation domain, or -1 (hub / ungrouped). */
+    int group() const { return group_; }
+
+    std::uint64_t expressAcquired() const { return expressAcquired_; }
+    std::uint64_t expressStallCycles() const { return expressStallCycles_; }
 
   private:
     /** Serialisation state of one class channel. */
@@ -153,6 +266,7 @@ class PearlRouter
         int resRemaining = 0;
         int flitsRemaining = 0;
         long creditBits = 0;
+        bool holdsExpressSlot = false; //!< inter-group slot held
     };
 
     int transmitClass(sim::CoreType type, double share, int capacity_bits,
@@ -172,6 +286,12 @@ class PearlRouter
     sim::RouterTelemetry telemetry_;
     double betaWindowSum_ = 0.0;
     std::uint64_t windowCycles_ = 0;
+
+    // Grouped R-SWMR express plane (null/-1 on ungrouped chips).
+    ExpressArbiter *express_ = nullptr;
+    int group_ = -1;
+    std::uint64_t expressAcquired_ = 0;
+    std::uint64_t expressStallCycles_ = 0;
 };
 
 } // namespace core

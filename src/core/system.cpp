@@ -37,7 +37,14 @@ HeteroSystem::HeteroSystem(sim::Network &network,
                            TelemetryLookup telemetry)
     : network_(network), cfg_(cfg), telemetry_(std::move(telemetry))
 {
-    const int clusters = cfg.home.numBanks;
+    // Cluster count decouples from L3 banking: cfg.clusters == 0 keeps
+    // the legacy one-bank-per-cluster coupling; banks always sit at the
+    // first `numBanks` cluster routers.
+    const int clusters = cfg.clusters > 0 ? cfg.clusters
+                                          : cfg.home.numBanks;
+    const int banks = cfg.home.numBanks;
+    PEARL_ASSERT(banks <= clusters,
+                 "more L3 banks than cluster routers to host them");
     PEARL_ASSERT(network.numNodes() >= clusters + 1,
                  "network too small for the cluster count");
     Rng rng(cfg.seed);
@@ -49,16 +56,18 @@ HeteroSystem::HeteroSystem(sim::Network &network,
 
     outbox_.resize(static_cast<std::size_t>(clusters + 1));
     clusters_.reserve(static_cast<std::size_t>(clusters));
-    banks_.reserve(static_cast<std::size_t>(clusters));
+    banks_.reserve(static_cast<std::size_t>(banks));
     for (int c = 0; c < clusters; ++c) {
         auto *tel = telemetry_ ? telemetry_(c) : nullptr;
         clusters_.push_back(std::make_unique<cache::ClusterNode>(
             c, cfg.home, cfg.hierarchy, pair.cpu, pair.gpu, rng.fork(),
             cpuPhase_.get(), gpuPhase_.get()));
         clusters_.back()->attach(this, tel);
+    }
+    for (int b = 0; b < banks; ++b) {
         banks_.push_back(std::make_unique<cache::L3Bank>(
-            c, clusters, cfg.hierarchy, cfg.home));
-        banks_.back()->attach(this, tel);
+            b, clusters, cfg.hierarchy, cfg.home));
+        banks_.back()->attach(this, telemetry_ ? telemetry_(b) : nullptr);
     }
     memory_ = std::make_unique<cache::MemoryNode>(
         cfg.home.memoryNode, cfg.hierarchy, cfg.memResponsesPerCycle);

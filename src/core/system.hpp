@@ -39,6 +39,10 @@ struct SystemConfig
     cache::HierarchyConfig hierarchy;
     ArchSpec arch;
     cache::HomeMap home;          //!< 16 banks, memory at node 16
+    /** Cluster count; 0 = auto (one cluster per L3 bank, the legacy
+     *  coupling).  Set explicitly (via core::makeSystemConfig) to run
+     *  fewer banks than clusters. */
+    int clusters = 0;
     std::uint64_t seed = 1;
     std::uint64_t localHopCycles = 4; //!< same-router crossbar round
     double memResponsesPerCycle = 1.6; //!< aggregate MC bandwidth

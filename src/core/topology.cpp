@@ -1,0 +1,161 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+
+#include "core/validate.hpp"
+
+namespace pearl {
+namespace core {
+
+namespace {
+
+/** Per-wavelength laser power of a reservation channel, watts.  The
+ *  Table V WL8 bank spends 145 mW across the whole 32-waveguide data
+ *  fabric; one reservation wavelength is the matching slice
+ *  (~0.6 mW). */
+constexpr double kResWavelengthW = 0.0006;
+
+} // namespace
+
+int
+TopologySpec::resolvedGroupSize() const
+{
+    if (clustersPerGroup > 0)
+        return clustersPerGroup;
+    if (clusters <= 16)
+        return clusters; // legacy single reservation domain
+    // Auto: the largest divisor of `clusters` no wider than the legacy
+    // 16-router domain, so reservation latency never regresses.
+    for (int size = 16; size > 1; --size) {
+        if (clusters % size == 0)
+            return size;
+    }
+    return 1;
+}
+
+Validation
+TopologySpec::validate() const
+{
+    if (clusters < 1 || clusters > cache::kMaxClusters)
+        return configError("TopologySpec.clusters must be in [1, ",
+                           cache::kMaxClusters, "] (directory mask "
+                           "width), got ", clusters);
+    if (clustersPerGroup < 0 || clustersPerGroup > clusters)
+        return configError("TopologySpec.clustersPerGroup must be in "
+                           "[0, clusters=", clusters, "], got ",
+                           clustersPerGroup);
+    if (clustersPerGroup > 0 && clusters % clustersPerGroup != 0)
+        return configError("TopologySpec.clustersPerGroup=",
+                           clustersPerGroup, " must divide clusters=",
+                           clusters,
+                           " (reservation domains are equal-sized "
+                           "waveguide groups)");
+    if (mcNode < -1 || mcNode > clusters)
+        return configError("TopologySpec.mcNode must be -1 (dedicated "
+                           "hub node) or in [0, clusters=", clusters,
+                           "], got ", mcNode);
+    if (l3Banks < 0 || l3Banks > clusters)
+        return configError("TopologySpec.l3Banks must be in [0, "
+                           "clusters=", clusters, "] (one slice per "
+                           "cluster router at most), got ", l3Banks);
+    if (hubWaveguides < 0)
+        return configError("TopologySpec.hubWaveguides must be >= 0, "
+                           "got ", hubWaveguides);
+    return {};
+}
+
+photonic::ReservationConfig
+TopologySpec::reservationConfig() const
+{
+    photonic::ReservationConfig cfg;
+    cfg.numRouters = resolvedGroupSize();
+    return cfg;
+}
+
+PearlConfig
+TopologySpec::pearlConfig() const
+{
+    throwIfInvalid(validate());
+
+    PearlConfig cfg;
+    cfg.numClusters = clusters;
+    cfg.l3Node = resolvedMcNode();
+    cfg.l3WaveguideGroup = resolvedHubWaveguides();
+
+    // Reservation latency from the Section III-A3 sizing formula over
+    // one reservation domain (group 16 -> 12-bit packet -> 2
+    // wavelengths -> 2 cycles, the legacy Table II figure).
+    const photonic::ReservationChannel channel(reservationConfig());
+    cfg.reservationCycles = channel.latencyCycles(channel.wavelengthsNeeded());
+
+    // Receivers tune per reservation domain, not per chip: four
+    // detector sets per listener in the group (group 16 -> 64, the
+    // legacy ring count).
+    cfg.rxRings = 4 * resolvedGroupSize();
+
+    // Scale-out chips drain the hub's waveguide group with parallel
+    // serializers; otherwise memory fills serialise at one packet per
+    // cycle per class and the hub caps the whole chip (the paper-sized
+    // chip keeps the legacy single-serializer hub, bit-identically).
+    cfg.multiPacketTx = clusters > 16;
+
+    // Grouped R-SWMR express plane — active only with >1 domain.
+    if (numGroups() > 1) {
+        cfg.reservationGroupSize = resolvedGroupSize();
+        // One express slot per router in the group: every router can
+        // keep an inter-group packet in flight, and the pool only
+        // throttles when one class piles on (or faults shrink the cap).
+        // Sized below that, the pool itself becomes the scale-out
+        // bottleneck — measured at 64 clusters, a quarter-sized pool
+        // cut per-cluster throughput 2.5x.  The floor of 2 keeps both
+        // class channels of a single-router domain transmitting.
+        cfg.resExpressSlots = std::max(2, resolvedGroupSize());
+        // Inter-group reservations broadcast chip-wide on a single
+        // shared wavelength: always exposed, never back-to-back.
+        photonic::ReservationConfig express;
+        express.numRouters = clusters;
+        cfg.expressReservationCycles =
+            photonic::ReservationChannel(express).latencyCycles(1);
+        cfg.expressResLaserW = kResWavelengthW;
+    }
+
+    throwIfInvalid(core::validate(cfg));
+    return cfg;
+}
+
+SystemConfig
+makeSystemConfig(const TopologySpec &spec)
+{
+    throwIfInvalid(spec.validate());
+
+    SystemConfig sys;
+    sys.clusters = spec.clusters;
+    sys.home.numBanks = spec.resolvedL3Banks();
+    sys.home.memoryNode = spec.resolvedMcNode();
+
+    // Hold the per-cluster L3 slice constant (512 kB = 8192 lines per
+    // cluster), so cache behaviour stays comparable across chip sizes
+    // and the 16-cluster chip keeps its 8 MB Table I capacity.
+    sys.hierarchy.l3Lines =
+        static_cast<std::uint64_t>(spec.clusters) * 8192;
+    sys.arch.l3CacheMb = std::max(1, spec.clusters / 2);
+
+    // Weak-scale the shared working set past the paper-sized chip (128
+    // lines per cluster, the legacy 2048 at 16 clusters).  With a fixed
+    // shared region, per-line coherence contention grows linearly with
+    // the core count and serialises the whole machine — Gustafson, not
+    // Amdahl, is the scale-out regime.  Chips at or below 16 clusters
+    // keep the legacy size exactly.
+    if (spec.clusters > 16) {
+        sys.hierarchy.sharedLines =
+            sys.hierarchy.sharedLines * spec.clusters / 16;
+    }
+
+    // Aggregate MC bandwidth tracks chip size (16 clusters -> the
+    // legacy 1.6 responses/cycle).
+    sys.memResponsesPerCycle = 0.1 * spec.clusters;
+    return sys;
+}
+
+} // namespace core
+} // namespace pearl

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TopologySpec: the single source of truth for chip topology.
+ *
+ * Section III-A2 sketches scaling the PEARL crossbar past one optical
+ * layer; this module makes the cluster count a first-class, validated
+ * parameter up to cache::kMaxClusters (128).  A TopologySpec names the
+ * few quantities a chip architect actually chooses — cluster count,
+ * reservation-domain (waveguide-group) fan-out, memory-controller
+ * placement, L3 banking, hub waveguide fan-out — and *derives*
+ * everything the layers below need:
+ *
+ *  - core::PearlConfig: node counts, hub waveguide group, grouped
+ *    R-SWMR reservation domains (group size, express slots, express
+ *    reservation latency from the Section III-A3 sizing formula,
+ *    per-group express-channel laser power), receive-ring counts that
+ *    scale with the reservation domain instead of the whole chip;
+ *  - cache::HomeMap + HierarchyConfig: bank count, memory node, total
+ *    L3 capacity held proportional to the cluster count;
+ *  - core::SystemConfig: cluster count, banking and memory bandwidth.
+ *
+ * Every derivation reduces *exactly* to the legacy Table I/II defaults
+ * at 16 clusters, so a TopologySpec{16} chip is bit-identical to the
+ * hand-built configs the goldens pin.  The previously hand-synced
+ * quintet (cfg.numClusters / cfg.l3Node / cfg.l3WaveguideGroup /
+ * home.numBanks / home.memoryNode) is now derived state — construct
+ * through makeSystemConfig() + pearlConfig() instead of setting the
+ * fields by hand (see DESIGN.md "Scale-out").
+ */
+
+#ifndef PEARL_CORE_TOPOLOGY_HPP
+#define PEARL_CORE_TOPOLOGY_HPP
+
+#include "cache/sharer_mask.hpp"
+#include "common/expected.hpp"
+#include "core/arch_config.hpp"
+#include "core/system.hpp"
+#include "photonic/reservation.hpp"
+
+namespace pearl {
+namespace core {
+
+/** The architect-chosen topology parameters (see file comment). */
+struct TopologySpec
+{
+    /** Cluster routers on the chip, in [1, cache::kMaxClusters]. */
+    int clusters = 16;
+
+    /**
+     * Clusters per R-SWMR reservation domain (waveguide group).  Must
+     * divide `clusters`.  0 = auto: chips up to 16 clusters keep the
+     * legacy single domain; larger chips take domains of 16.  A single
+     * domain spanning the whole chip (clustersPerGroup == clusters) is
+     * exactly the legacy fabric.
+     */
+    int clustersPerGroup = 0;
+
+    /**
+     * Node hosting the memory controllers + hub waveguide group.
+     * -1 = auto: the dedicated hub node (id == clusters).  A value in
+     * [0, clusters - 1] co-locates the MC with that cluster's router.
+     */
+    int mcNode = -1;
+
+    /** L3 bank slices, in [1, clusters].  0 = auto: one per cluster. */
+    int l3Banks = 0;
+
+    /** Hub (MC/L3) parallel data waveguides.  0 = auto: one per
+     *  cluster, so hub bandwidth tracks chip size. */
+    int hubWaveguides = 0;
+
+    // Resolved values ------------------------------------------------
+    int resolvedGroupSize() const;
+    int resolvedMcNode() const { return mcNode < 0 ? clusters : mcNode; }
+    int resolvedL3Banks() const { return l3Banks > 0 ? l3Banks : clusters; }
+    int
+    resolvedHubWaveguides() const
+    {
+        return hubWaveguides > 0 ? hubWaveguides : clusters;
+    }
+    int numGroups() const { return clusters / resolvedGroupSize(); }
+
+    /** Accept/reject the spec with an actionable message. */
+    Validation validate() const;
+
+    /** R-SWMR sizing of one reservation domain (Section III-A3). */
+    photonic::ReservationConfig reservationConfig() const;
+
+    /** Derived photonic-network configuration.
+     *  @throws ConfigError when the spec fails validation. */
+    PearlConfig pearlConfig() const;
+};
+
+/** Derived system configuration (hierarchy, home map, cluster count,
+ *  memory bandwidth).  @throws ConfigError when the spec is invalid. */
+SystemConfig makeSystemConfig(const TopologySpec &spec);
+
+} // namespace core
+} // namespace pearl
+
+#endif // PEARL_CORE_TOPOLOGY_HPP

@@ -118,6 +118,31 @@ validate(const PearlConfig &cfg)
                                ") must be >= retxBackoffBase (",
                                cfg.retxBackoffBase, ")");
     }
+    // Grouped R-SWMR reservation domains (scale-out plane).
+    if (cfg.reservationGroupSize < 0 ||
+        cfg.reservationGroupSize > cfg.numClusters)
+        return configError("reservationGroupSize must be in [0, "
+                           "numClusters=", cfg.numClusters, "], got ",
+                           cfg.reservationGroupSize);
+    if (cfg.reservationGroupSize > 0 &&
+        cfg.numClusters % cfg.reservationGroupSize != 0)
+        return configError("reservationGroupSize=",
+                           cfg.reservationGroupSize,
+                           " must divide numClusters=", cfg.numClusters,
+                           " (reservation domains are equal-sized)");
+    if (cfg.grouped()) {
+        if (cfg.resExpressSlots <= 0)
+            return configError("resExpressSlots must be > 0 on a "
+                               "grouped chip, got ", cfg.resExpressSlots);
+        if (cfg.expressReservationCycles < 0)
+            return configError("expressReservationCycles must be >= 0, "
+                               "got ", cfg.expressReservationCycles);
+        if (cfg.expressResLaserW < 0.0 ||
+            !std::isfinite(cfg.expressResLaserW))
+            return configError("expressResLaserW must be >= 0 watts, "
+                               "got ", cfg.expressResLaserW);
+    }
+
     if (Validation f = validateFaults(cfg.faults); !f)
         return f;
     return {};

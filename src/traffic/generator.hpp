@@ -114,16 +114,22 @@ class alignas(64) CoreDemandGenerator
      * @param phase          optional chip-wide phase; when given, the
      *                       burst state is the shared phase instead of a
      *                       private Markov chain.
+     * @param shared_lines   shared-region size in lines.  Scale-out runs
+     *                       weak-scale this with the core count (see
+     *                       core::makeSystemConfig) so per-line coherence
+     *                       contention stays constant across chip sizes.
      */
     CoreDemandGenerator(const BenchmarkProfile &profile, int global_core_id,
-                        Rng rng, const GlobalPhase *phase = nullptr)
+                        Rng rng, const GlobalPhase *phase = nullptr,
+                        std::uint64_t shared_lines =
+                            AddressSpace::kSharedLines)
         : rng_(rng), tRateOn_(Rng::chanceThreshold(profile.accessRateOn)),
           tRateOff_(Rng::chanceThreshold(profile.accessRateOff)),
           phase_(phase), tOnToOff_(Rng::chanceThreshold(profile.pOnToOff)),
           tOffToOn_(Rng::chanceThreshold(profile.pOffToOn)),
           privateBase_(AddressSpace::privateBase(global_core_id)),
           sharedBase_(AddressSpace::sharedBase(profile.coreType)),
-          profile_(profile)
+          sharedLines_(shared_lines), profile_(profile)
     {
         on_ = rng_.chance(profile_.onFraction());
     }
@@ -184,8 +190,7 @@ class alignas(64) CoreDemandGenerator
 
         if (!acc.instr && rng_.chance(profile_.sharedFraction)) {
             // Shared-region access: uniform over the per-type region.
-            acc.lineAddr =
-                sharedBase_ + rng_.below(AddressSpace::kSharedLines);
+            acc.lineAddr = sharedBase_ + rng_.below(sharedLines_);
             return acc;
         }
 
@@ -230,6 +235,7 @@ class alignas(64) CoreDemandGenerator
     std::uint64_t tOffToOn_;
     std::uint64_t privateBase_;
     std::uint64_t sharedBase_;
+    std::uint64_t sharedLines_;
     std::uint64_t streamPtr_ = 0;
     int streamWordCnt_ = 0;
     BenchmarkProfile profile_;

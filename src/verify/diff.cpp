@@ -194,6 +194,24 @@ compareCycle(core::PearlNetwork &pearl, RefNetwork &ref)
             expectEq(d, (p + t + " rx slots").c_str(),
                      router.rxBuffers().of(type).occupiedSlots(),
                      ref.bufferSlots(r, true, type));
+            if (pearl.config().grouped()) {
+                expectEq(d, (p + t + " express slot").c_str(),
+                         router.txAudit(type).holdsExpressSlot,
+                         ref.txHoldsExpress(r, type));
+            }
+        }
+    }
+
+    // Grouped chips: express-slot pools, group by group.
+    if (pearl.config().grouped()) {
+        for (int g = 0; g < pearl.config().numGroups() && !d.hit; ++g) {
+            std::ostringstream prefix;
+            prefix << "express group " << g << " ";
+            const std::string p = prefix.str();
+            expectEq(d, (p + "in use").c_str(),
+                     pearl.expressArbiter().inUse(g), ref.expressInUse(g));
+            expectEq(d, (p + "cap").c_str(),
+                     pearl.expressArbiter().cap(g), ref.expressCap(g));
         }
     }
 

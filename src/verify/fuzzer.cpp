@@ -42,6 +42,19 @@ generateCase(std::uint64_t base_seed, std::uint64_t index)
     c.policy = static_cast<int>(rng.range(0, kNumPolicyKinds - 1));
     c.dbaMode = static_cast<int>(rng.range(0, 2));
 
+    // Half the cases run grouped so the express plane's arbitration,
+    // fault caps and energy paths are fuzzed alongside the legacy
+    // single-domain chips.  Only proper divisors keep numGroups > 1.
+    if (rng.chance(0.5)) {
+        c.reservationGroupSize =
+            (c.numClusters == 4 && rng.chance(0.5)) ? 2 : 1;
+        c.resExpressSlots = static_cast<int>(rng.range(1, 3));
+        c.expressReservationCycles = static_cast<int>(rng.range(0, 4));
+    }
+    // Independent of grouping: the hub's multi-waveguide channel drains
+    // in parallel on half the cases, legacy-serialised on the rest.
+    c.multiPacketTx = rng.chance(0.5);
+
     c.faultsEnabled = rng.chance(0.75);
     if (c.faultsEnabled) {
         c.bankMtbfCycles = rng.chance(0.5)
@@ -77,6 +90,13 @@ toPearlConfig(const FuzzCase &c)
     cfg.numClusters = c.numClusters;
     cfg.l3Node = c.numClusters; // the extra node, as in the default map
     cfg.l3WaveguideGroup = c.l3WaveguideGroup;
+    cfg.reservationGroupSize = c.reservationGroupSize;
+    if (c.reservationGroupSize > 0) {
+        cfg.resExpressSlots = c.resExpressSlots;
+        cfg.expressReservationCycles = c.expressReservationCycles;
+        cfg.expressResLaserW = 0.0006;
+    }
+    cfg.multiPacketTx = c.multiPacketTx;
     cfg.cpuInjectSlots = c.cpuInjectSlots;
     cfg.gpuInjectSlots = c.gpuInjectSlots;
     cfg.rxSlotsPerClass = c.rxSlotsPerClass;
@@ -192,6 +212,10 @@ visitCaseFields(Case &c, Visitor &&v)
     v("seed", c.seed);
     v("numClusters", c.numClusters);
     v("l3WaveguideGroup", c.l3WaveguideGroup);
+    v("reservationGroupSize", c.reservationGroupSize);
+    v("resExpressSlots", c.resExpressSlots);
+    v("expressReservationCycles", c.expressReservationCycles);
+    v("multiPacketTx", c.multiPacketTx);
     v("cpuInjectSlots", c.cpuInjectSlots);
     v("gpuInjectSlots", c.gpuInjectSlots);
     v("rxSlotsPerClass", c.rxSlotsPerClass);
@@ -378,9 +402,22 @@ shrinkCase(const FuzzCase &failing,
             candidate.policy = static_cast<int>(PolicyKind::Static);
             changed |= keep(candidate);
         }
+        if (best.reservationGroupSize != 0) {
+            FuzzCase candidate = best;
+            candidate.reservationGroupSize = 0;
+            changed |= keep(candidate);
+        }
+        if (best.multiPacketTx) {
+            FuzzCase candidate = best;
+            candidate.multiPacketTx = false;
+            changed |= keep(candidate);
+        }
         if (best.numClusters > 2) {
             FuzzCase candidate = best;
             candidate.numClusters = 2;
+            // Keep the group size a divisor of the shrunk chip.
+            if (candidate.reservationGroupSize > 2)
+                candidate.reservationGroupSize = 1;
             changed |= keep(candidate);
         }
     }

@@ -50,6 +50,16 @@ struct FuzzCase
     // Topology and buffering.
     int numClusters = 2;
     int l3WaveguideGroup = 1;
+    /** Grouped express plane: 0 keeps the single legacy reservation
+     *  domain; a proper divisor of numClusters splits the chip into
+     *  waveguide groups with slot-arbitrated inter-group traffic. */
+    int reservationGroupSize = 0;
+    int resExpressSlots = 2;
+    int expressReservationCycles = 3;
+    /** Parallel per-class serializers on multi-waveguide channels (the
+     *  scale-out hub drain); off is the legacy one-packet-per-cycle
+     *  serialisation. */
+    bool multiPacketTx = false;
     int cpuInjectSlots = 8;
     int gpuInjectSlots = 8;
     int rxSlotsPerClass = 8;

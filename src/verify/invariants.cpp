@@ -68,6 +68,11 @@ Invariants::afterStep(const core::PearlNetwork &net)
     if (auto violation = checkConservation(net.auditCounts(), faults))
         fail(now, *violation);
 
+    // Per-group express-slot tally (grouped chips), rebuilt from the
+    // channel snapshots and reconciled against the arbiter below.
+    std::vector<int> expressHeld(
+        cfg.grouped() ? static_cast<std::size_t>(cfg.numGroups()) : 0, 0);
+
     for (int r = 0; r < net.numNodes(); ++r) {
         const core::PearlRouter &router = net.router(r);
 
@@ -110,14 +115,25 @@ Invariants::afterStep(const core::PearlNetwork &net)
                        << tx.flitsRemaining << " flits";
                     fail(now, os.str());
                 }
+                if (tx.holdsExpressSlot)
+                    fail(now, "idle tx channel holds an express slot");
                 continue;
             }
-            if (tx.resRemaining < 0 ||
-                tx.resRemaining > cfg.reservationCycles) {
+            // 3b. Express legality: a held slot implies a grouped chip
+            //     and an inter-group head packet; an inter-group head
+            //     past acquisition always holds its slot.
+            if (tx.holdsExpressSlot && !cfg.grouped())
+                fail(now, "express slot held on an ungrouped chip");
+            if (tx.holdsExpressSlot)
+                ++expressHeld[static_cast<std::size_t>(cfg.groupOf(r))];
+            const int res_bound = tx.holdsExpressSlot
+                                      ? cfg.expressReservationCycles
+                                      : cfg.reservationCycles;
+            if (tx.resRemaining < 0 || tx.resRemaining > res_bound) {
                 std::ostringstream os;
                 os << "router " << r << " reservation countdown "
-                   << tx.resRemaining << " outside [0, "
-                   << cfg.reservationCycles << "]";
+                   << tx.resRemaining << " outside [0, " << res_bound
+                   << "]";
                 fail(now, os.str());
             }
             if (tx.resRemaining > 0 && tx.creditBits != 0)
@@ -126,6 +142,16 @@ Invariants::afterStep(const core::PearlNetwork &net)
                 fail(now, "credit bits outside [0, one flit)");
             if (buf.empty())
                 fail(now, "active tx channel over an empty buffer");
+            if (cfg.grouped() &&
+                tx.holdsExpressSlot !=
+                    cfg.interGroup(r, buf.front().dst)) {
+                std::ostringstream os;
+                os << "router " << r << " express slot held="
+                   << tx.holdsExpressSlot
+                   << " disagrees with head packet dst "
+                   << buf.front().dst;
+                fail(now, os.str());
+            }
             if (tx.flitsRemaining < 1 ||
                 tx.flitsRemaining > buf.front().numFlits()) {
                 std::ostringstream os;
@@ -156,6 +182,39 @@ Invariants::afterStep(const core::PearlNetwork &net)
                    << photonic::toString(state)
                    << " above the fault cap " << photonic::toString(cap)
                    << " at a window boundary";
+                fail(now, os.str());
+            }
+        }
+    }
+
+    // 4b. Express pools reconcile with the channel snapshots: the
+    //     arbiter's per-group in-use count is exactly the number of
+    //     channels holding a slot, and never exceeds the configured
+    //     pool (caps may transiently sit below in-use after a fault —
+    //     held slots are not revoked — but the pool size bounds both).
+    if (cfg.grouped()) {
+        const auto &arbiter = net.expressArbiter();
+        for (int g = 0; g < cfg.numGroups(); ++g) {
+            const int in_use = arbiter.inUse(g);
+            if (in_use != expressHeld[static_cast<std::size_t>(g)]) {
+                std::ostringstream os;
+                os << "express group " << g << " arbiter in-use "
+                   << in_use << " != " << expressHeld[
+                       static_cast<std::size_t>(g)]
+                   << " channels holding a slot";
+                fail(now, os.str());
+            }
+            if (in_use < 0 || in_use > cfg.resExpressSlots) {
+                std::ostringstream os;
+                os << "express group " << g << " in-use " << in_use
+                   << " outside [0, " << cfg.resExpressSlots << "]";
+                fail(now, os.str());
+            }
+            if (arbiter.cap(g) < 1 ||
+                arbiter.cap(g) > cfg.resExpressSlots) {
+                std::ostringstream os;
+                os << "express group " << g << " cap " << arbiter.cap(g)
+                   << " outside [1, " << cfg.resExpressSlots << "]";
                 fail(now, os.str());
             }
         }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "core/router.hpp"
 
 namespace pearl {
 namespace verify {
@@ -51,6 +52,12 @@ RefNetwork::RefNetwork(const core::PearlConfig &cfg,
         router.laser.state = cfg_.initialState;
         router.telemetry.wavelengths =
             photonic::wavelengths(cfg_.initialState);
+    }
+    if (cfg_.grouped()) {
+        expressUse_.assign(static_cast<std::size_t>(cfg_.numGroups()),
+                           {{0, 0}});
+        expressCap_.assign(static_cast<std::size_t>(cfg_.numGroups()),
+                           cfg_.resExpressSlots);
     }
 }
 
@@ -183,9 +190,38 @@ RefNetwork::transmitClass(RefRouter &router, CoreType type, double share,
         return 0;
     }
 
+    // Inter-group head: the naive express pool, updated inline.  Same
+    // acquisition rule as core::ExpressArbiter (whose classCap we share
+    // as a leaf function), same order: the caller walks routers
+    // ascending, CPU before GPU.
+    const auto tryAcquireExpress = [&](const Packet &head) {
+        if (!cfg_.grouped() || !cfg_.interGroup(router.id, head.dst))
+            return true; // not an express packet: nothing to win
+        const auto g = static_cast<std::size_t>(cfg_.groupOf(router.id));
+        const int ci = static_cast<int>(type);
+        const int total = expressUse_[g][0] + expressUse_[g][1];
+        bool granted = total < expressCap_[g];
+        if (granted && dba_.mode != core::DbaConfig::Mode::Fcfs)
+            granted = expressUse_[g][ci] <
+                      core::ExpressArbiter::classCap(expressCap_[g],
+                                                     type);
+        if (granted) {
+            ++expressUse_[g][ci];
+            ch.holdsExpressSlot = true;
+        }
+        return granted;
+    };
+
     if (!ch.active) {
+        const bool express_head =
+            cfg_.grouped() && cfg_.interGroup(router.id, buf.front().dst);
+        if (!tryAcquireExpress(buf.front()))
+            return 0;
+        ch.resRemaining =
+            ch.backToBack ? 0
+                          : (express_head ? cfg_.expressReservationCycles
+                                          : cfg_.reservationCycles);
         ch.active = true;
-        ch.resRemaining = ch.backToBack ? 0 : cfg_.reservationCycles;
         ch.flitsRemaining = buf.front().numFlits();
         ch.creditBits = 0;
     }
@@ -199,18 +235,39 @@ RefNetwork::transmitClass(RefRouter &router, CoreType type, double share,
         std::lround(share * static_cast<double>(capacity_bits));
     ch.creditBits += bits;
 
+    int packet_budget = cfg_.multiPacketTx ? router.waveguides : 1;
+
     int sent_bits = 0;
-    while (ch.creditBits >= sim::kFlitBits && ch.flitsRemaining > 0) {
-        ch.creditBits -= sim::kFlitBits;
-        --ch.flitsRemaining;
-        sent_bits += sim::kFlitBits;
-    }
-    if (ch.flitsRemaining == 0) {
+    while (true) {
+        while (ch.creditBits >= sim::kFlitBits && ch.flitsRemaining > 0) {
+            ch.creditBits -= sim::kFlitBits;
+            --ch.flitsRemaining;
+            sent_bits += sim::kFlitBits;
+        }
+        if (ch.flitsRemaining > 0)
+            break; // out of credit mid-packet; remainder carries over
         done.push_back(buf.front());
         buf.pop_front();
         ch.active = false;
-        ch.creditBits = 0;
         ch.backToBack = true;
+        if (ch.holdsExpressSlot) {
+            const auto g =
+                static_cast<std::size_t>(cfg_.groupOf(router.id));
+            --expressUse_[g][static_cast<int>(type)];
+            ch.holdsExpressSlot = false;
+        }
+        --packet_budget;
+        if (packet_budget <= 0 || buf.empty() ||
+            ch.creditBits < sim::kFlitBits) {
+            ch.creditBits = 0; // credits never bank across packets
+            break;
+        }
+        if (!tryAcquireExpress(buf.front())) {
+            ch.creditBits = 0;
+            break;
+        }
+        ch.active = true;
+        ch.flitsRemaining = buf.front().numFlits();
     }
     return sent_bits;
 }
@@ -412,6 +469,18 @@ RefNetwork::step()
     for (auto &f : retries)
         inFlight_.push(std::move(f));
 
+    // 1b. Group-local fault caps (mirrors the optimized stage 1b).
+    if (cfg_.grouped() && faults_.enabled()) {
+        const int gs = cfg_.reservationGroupSize;
+        for (int g = 0; g < cfg_.numGroups(); ++g) {
+            int failed = 0;
+            for (int r = g * gs; r < (g + 1) * gs; ++r)
+                failed += faults_.failedBanks(r);
+            expressCap_[static_cast<std::size_t>(g)] =
+                std::max(1, cfg_.resExpressSlots - failed);
+        }
+    }
+
     // 2. Transmit.
     for (int r = 0; r < cfg_.numNodes(); ++r) {
         RefRouter &router = routers_[static_cast<std::size_t>(r)];
@@ -468,6 +537,11 @@ RefNetwork::step()
                 router.laser.state, cfg_.txRings * router.waveguides,
                 cfg_.rxRings) *
             cfg_.cycleSeconds;
+    }
+    if (cfg_.grouped()) {
+        expressLaserEnergyJ_ += static_cast<double>(cfg_.numGroups()) *
+                                cfg_.expressResLaserW *
+                                cfg_.cycleSeconds;
     }
 
     // 5. Reservation-window boundaries, modulo recomputed per router.
@@ -600,10 +674,31 @@ RefNetwork::telemetryOf(int node)
 double
 RefNetwork::laserEnergyJ() const
 {
-    double total = 0.0;
+    double total = expressLaserEnergyJ_;
     for (const auto &router : routers_)
         total += router.laser.energyJ;
     return total;
+}
+
+int
+RefNetwork::expressInUse(int group) const
+{
+    const auto &u = expressUse_[static_cast<std::size_t>(group)];
+    return u[0] + u[1];
+}
+
+int
+RefNetwork::expressCap(int group) const
+{
+    return expressCap_[static_cast<std::size_t>(group)];
+}
+
+bool
+RefNetwork::txHoldsExpress(int node, CoreType type) const
+{
+    return routers_[static_cast<std::size_t>(node)]
+        .tx[static_cast<int>(type)]
+        .holdsExpressSlot;
 }
 
 double

@@ -25,6 +25,7 @@
 #ifndef PEARL_VERIFY_REF_NETWORK_HPP
 #define PEARL_VERIFY_REF_NETWORK_HPP
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <queue>
@@ -77,6 +78,11 @@ class RefNetwork : public sim::Network
     double dynamicEnergyJ() const { return dynamicEnergyJ_; }
     double residency(photonic::WlState s) const;
 
+    // Grouped R-SWMR express plane (mirrors core::ExpressArbiter) ------
+    int expressInUse(int group) const;
+    int expressCap(int group) const;
+    bool txHoldsExpress(int node, sim::CoreType type) const;
+
   private:
     /** Naive laser bank: same semantics as photonic::LaserBank with
      *  plain counters instead of a histogram. */
@@ -106,6 +112,7 @@ class RefNetwork : public sim::Network
         int resRemaining = 0;
         int flitsRemaining = 0;
         long creditBits = 0;
+        bool holdsExpressSlot = false;
     };
 
     struct RefRouter
@@ -202,6 +209,12 @@ class RefNetwork : public sim::Network
     sim::Cycle cycle_ = 0;
     double trimmingEnergyJ_ = 0.0;
     double dynamicEnergyJ_ = 0.0;
+
+    // Naive per-group express pool (grouped chips only): plain vectors
+    // updated inline — the honest mirror of core::ExpressArbiter.
+    std::vector<std::array<int, sim::kNumCoreTypes>> expressUse_;
+    std::vector<int> expressCap_;
+    double expressLaserEnergyJ_ = 0.0;
 };
 
 } // namespace verify

@@ -7,8 +7,10 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
@@ -263,6 +265,59 @@ TEST(Env, EnvStrReturnsSetValueVerbatim)
     setenv("PEARL_TEST_ENV_S", "", 1);
     EXPECT_EQ(envStr("PEARL_TEST_ENV_S", "fb"), "");
     unsetenv("PEARL_TEST_ENV_S");
+}
+
+TEST(EnvRegistry, KnobsAreWellFormed)
+{
+    std::set<std::string> names;
+    for (const EnvKnob &k : envRegistry()) {
+        const std::string name = k.name;
+        EXPECT_EQ(name.rfind("PEARL_", 0), 0u)
+            << name << " lacks the PEARL_ prefix";
+        EXPECT_TRUE(names.insert(name).second)
+            << name << " registered twice";
+        const std::string type = k.type;
+        EXPECT_TRUE(type == "bool" || type == "u64" ||
+                    type == "double" || type == "string")
+            << name << " has unknown type " << type;
+        EXPECT_FALSE(std::string(k.fallback).empty()) << name;
+        EXPECT_FALSE(std::string(k.summary).empty()) << name;
+    }
+    EXPECT_GE(names.size(), 25u);
+}
+
+TEST(EnvRegistry, HelpRendersEveryKnob)
+{
+    const std::string help = envHelp();
+    for (const EnvKnob &k : envRegistry())
+        EXPECT_NE(help.find(k.name), std::string::npos) << k.name;
+}
+
+// The README's knob table must be exactly envMarkdownTable()'s output,
+// enclosed in the env-table markers.  On drift, regenerate with
+// `./build/examples/quickstart --env-help` (or paste
+// pearl::envMarkdownTable()) rather than editing the table by hand.
+TEST(EnvRegistry, ReadmeTableMatchesRegistry)
+{
+    std::ifstream readme(PEARL_README_PATH);
+    ASSERT_TRUE(readme) << "cannot open " << PEARL_README_PATH;
+    std::ostringstream buf;
+    buf << readme.rdbuf();
+    const std::string text = buf.str();
+
+    const std::string begin_marker = "<!-- env-table:begin";
+    const std::string end_marker = "<!-- env-table:end -->";
+    const std::size_t begin = text.find(begin_marker);
+    ASSERT_NE(begin, std::string::npos) << "README lost the env-table "
+                                           "begin marker";
+    const std::size_t table_start = text.find('\n', begin) + 1;
+    const std::size_t end = text.find(end_marker, table_start);
+    ASSERT_NE(end, std::string::npos) << "README lost the env-table "
+                                         "end marker";
+    EXPECT_EQ(text.substr(table_start, end - table_start),
+              envMarkdownTable())
+        << "README env table drifted from pearl::envRegistry() — "
+           "regenerate it from envMarkdownTable()";
 }
 
 TEST(RunningStat, MeanVarianceMinMax)

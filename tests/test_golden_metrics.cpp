@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "core/topology.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/sweep.hpp"
 #include "ml/pipeline.hpp"
@@ -199,29 +200,30 @@ compareGolden(const GoldenConfig &cfg,
         << path << ": more rows than the grid has runs";
 }
 
-/** RAII env-var override for PEARL_FAST_FORWARD.  Set before the sweep
- *  workers launch and restored after they join, so the getenv in the
- *  HeteroSystem constructor never races a setenv. */
-class FastForwardEnv
+/** RAII env-var override.  Set before the sweep workers launch and
+ *  restored after they join, so the getenv inside worker threads never
+ *  races a setenv. */
+class ScopedEnv
 {
   public:
-    explicit FastForwardEnv(const char *value)
+    ScopedEnv(const char *name, const char *value) : name_(name)
     {
-        const char *old = std::getenv("PEARL_FAST_FORWARD");
+        const char *old = std::getenv(name);
         had_ = old != nullptr;
         if (had_)
             old_ = old;
-        ::setenv("PEARL_FAST_FORWARD", value, 1);
+        ::setenv(name, value, 1);
     }
-    ~FastForwardEnv()
+    ~ScopedEnv()
     {
         if (had_)
-            ::setenv("PEARL_FAST_FORWARD", old_.c_str(), 1);
+            ::setenv(name_, old_.c_str(), 1);
         else
-            ::unsetenv("PEARL_FAST_FORWARD");
+            ::unsetenv(name_);
     }
 
   private:
+    const char *name_;
     bool had_ = false;
     std::string old_;
 };
@@ -231,7 +233,7 @@ class FastForwardEnv
 std::vector<std::string>
 rowsWithFastForward(const GoldenConfig &cfg, const char *ff)
 {
-    FastForwardEnv env(ff);
+    ScopedEnv env("PEARL_FAST_FORWARD", ff);
     SweepOptions so;
     so.baseSeed = 100;
     const SweepResult result = SweepRunner(so).run(cfg.jobs);
@@ -285,6 +287,60 @@ TEST(GoldenMetrics, FixedGridMatchesCheckedInResults)
         } else {
             compareGolden(cfg, runs);
         }
+    }
+}
+
+/** The scale-out row: a 32-cluster grouped chip (2 waveguide groups of
+ *  16, express inter-group slots) derived entirely from a TopologySpec,
+ *  pinned with the same field-exact CSV machinery as the legacy grid. */
+GoldenConfig
+scale32Config(const traffic::BenchmarkSuite &suite)
+{
+    core::TopologySpec topo;
+    topo.clusters = 32;
+    GoldenConfig cfg;
+    cfg.name = "scale32";
+    for (const auto &pair : goldenPairs(suite)) {
+        RunSpec job;
+        job.configName = cfg.name;
+        job.pair = pair;
+        job.options = goldenOptions();
+        job.options.system = core::makeSystemConfig(topo);
+        job.pearl = topo.pearlConfig();
+        job.makePolicy = [] {
+            return std::make_unique<core::ReactivePolicy>();
+        };
+        cfg.jobs.push_back(std::move(job));
+    }
+    return cfg;
+}
+
+TEST(GoldenMetrics, Scale32GroupedRowsMatchCheckedInResults)
+{
+    const bool update = pearl::envU64("PEARL_UPDATE_GOLDEN", 0) != 0;
+
+    traffic::BenchmarkSuite suite;
+    const GoldenConfig cfg = scale32Config(suite);
+    SCOPED_TRACE("config " + cfg.name);
+
+    // The whole pinned run is invariant-audited: any express-slot
+    // legality or packet-conservation violation on the grouped fabric
+    // surfaces as a job failure here, not just as metric drift.
+    ScopedEnv verify_env("PEARL_VERIFY", "1");
+    SweepOptions so;
+    so.baseSeed = 100;
+    const SweepResult result = SweepRunner(so).run(cfg.jobs);
+    ASSERT_TRUE(result.allOk())
+        << (result.firstError() ? result.firstError()->error : "unknown");
+    const std::vector<RunMetrics> runs = result.metricsOrThrow();
+    for (const RunMetrics &m : runs)
+        ASSERT_GT(m.deliveredPackets, 0u);
+
+    if (update) {
+        writeGolden(cfg, runs);
+        std::cout << "[golden] updated " << goldenPath(cfg.name) << "\n";
+    } else {
+        compareGolden(cfg, runs);
     }
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/network.hpp"
 #include "core/system.hpp"
+#include "core/topology.hpp"
 #include "electrical/cmesh.hpp"
 #include "photonic/power_model.hpp"
 #include "traffic/suite.hpp"
@@ -198,20 +199,16 @@ TEST_F(SystemTest, RunUntilIdleOnQuietSystem)
 TEST_F(SystemTest, ScalesDownToEightClusters)
 {
     // Section III-A2 discusses scaling the design; the model is
-    // parameterized in the cluster count (the directory supports up to
-    // 16).  An 8-cluster chip must run end to end.
-    PearlConfig net_cfg;
-    net_cfg.numClusters = 8;
-    net_cfg.l3Node = 8;
+    // parameterized in the cluster count through TopologySpec.  An
+    // 8-cluster chip must run end to end.
+    TopologySpec topo;
+    topo.clusters = 8;
     photonic::PowerModel power;
     StaticPolicy policy(photonic::WlState::WL64);
-    PearlNetwork net(net_cfg, power, DbaConfig{}, &policy);
+    PearlNetwork net(topo.pearlConfig(), power, DbaConfig{}, &policy);
     EXPECT_EQ(net.numNodes(), 9);
 
-    SystemConfig sys;
-    sys.home.numBanks = 8;
-    sys.home.memoryNode = 8;
-    HeteroSystem system(net, pair_, sys,
+    HeteroSystem system(net, pair_, makeSystemConfig(topo),
                         [&net](int n) { return &net.telemetryOf(n); });
     system.run(5000);
     EXPECT_GT(net.stats().deliveredPackets(), 50u);
@@ -221,21 +218,40 @@ TEST_F(SystemTest, ScalesDownToEightClusters)
 
 TEST_F(SystemTest, ScalesDownToFourClusters)
 {
-    PearlConfig net_cfg;
-    net_cfg.numClusters = 4;
-    net_cfg.l3Node = 4;
-    net_cfg.l3WaveguideGroup = 4;
+    TopologySpec topo;
+    topo.clusters = 4;
     photonic::PowerModel power;
     StaticPolicy policy(photonic::WlState::WL64);
-    PearlNetwork net(net_cfg, power, DbaConfig{}, &policy);
+    PearlNetwork net(topo.pearlConfig(), power, DbaConfig{}, &policy);
 
-    SystemConfig sys;
-    sys.home.numBanks = 4;
-    sys.home.memoryNode = 4;
-    HeteroSystem system(net, pair_, sys,
+    HeteroSystem system(net, pair_, makeSystemConfig(topo),
                         [&net](int n) { return &net.telemetryOf(n); });
     system.run(5000);
     EXPECT_GT(net.stats().deliveredPackets(), 20u);
+}
+
+TEST_F(SystemTest, ScalesUpToThirtyTwoClustersGrouped)
+{
+    // Above 16 clusters the TopologySpec splits the fabric into
+    // waveguide groups; the full system (wide directory sharer masks,
+    // decoupled L3 banking, express inter-group slots) must run end to
+    // end and deliver traffic from every router.
+    TopologySpec topo;
+    topo.clusters = 32;
+    const PearlConfig cfg = topo.pearlConfig();
+    EXPECT_TRUE(cfg.grouped());
+    photonic::PowerModel power;
+    StaticPolicy policy(photonic::WlState::WL64);
+    PearlNetwork net(cfg, power, DbaConfig{}, &policy);
+    EXPECT_EQ(net.numNodes(), 33);
+
+    HeteroSystem system(net, pair_, makeSystemConfig(topo),
+                        [&net](int n) { return &net.telemetryOf(n); });
+    system.run(5000);
+    EXPECT_GT(net.stats().deliveredPackets(), 100u);
+    EXPECT_GT(net.expressAcquired(), 0u);
+    for (int r = 0; r < 32; ++r)
+        EXPECT_GT(net.telemetryOf(r).packetsInjected, 0u);
 }
 
 TEST_F(SystemTest, LatencyPercentilesAvailable)

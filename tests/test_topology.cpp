@@ -1,0 +1,274 @@
+/**
+ * @file
+ * core::TopologySpec: the accept/reject matrix and the legacy-equality
+ * guarantee.
+ *
+ * Two properties carry the scale-out plane:
+ *  1. a TopologySpec{16} derives configs field-identical to the
+ *     hand-built legacy defaults (so the goldens keep pinning them);
+ *  2. every invalid spec is rejected with an actionable message before
+ *     any network is built.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/sharer_mask.hpp"
+#include "core/network.hpp"
+#include "core/system.hpp"
+#include "core/topology.hpp"
+#include "photonic/power_model.hpp"
+#include "traffic/suite.hpp"
+
+namespace pearl {
+namespace core {
+namespace {
+
+/** True when the validation failed and its message mentions `needle`. */
+testing::AssertionResult
+failsMentioning(const Validation &v, const std::string &needle)
+{
+    if (v)
+        return testing::AssertionFailure()
+               << "expected a validation failure mentioning '" << needle
+               << "' but validation passed";
+    if (v.error().code != ErrorCode::InvalidConfig)
+        return testing::AssertionFailure()
+               << "expected InvalidConfig, got "
+               << static_cast<int>(v.error().code) << ": "
+               << v.error().message;
+    if (v.error().message.find(needle) == std::string::npos)
+        return testing::AssertionFailure()
+               << "message does not mention '" << needle
+               << "': " << v.error().message;
+    return testing::AssertionSuccess();
+}
+
+// Legacy equality --------------------------------------------------------
+
+TEST(TopologySpec, DefaultSpecReproducesLegacyPearlConfig)
+{
+    // The derivations must land *exactly* on the hand-written Table I/II
+    // defaults at 16 clusters — this is what keeps the 16-cluster goldens
+    // byte-identical across the API redesign.
+    const PearlConfig derived = TopologySpec{}.pearlConfig();
+    const PearlConfig legacy;
+
+    EXPECT_EQ(derived.numClusters, legacy.numClusters);
+    EXPECT_EQ(derived.l3Node, legacy.l3Node);
+    EXPECT_EQ(derived.l3WaveguideGroup, legacy.l3WaveguideGroup);
+    EXPECT_EQ(derived.reservationCycles, legacy.reservationCycles);
+    EXPECT_EQ(derived.rxRings, legacy.rxRings);
+    EXPECT_EQ(derived.txRings, legacy.txRings);
+
+    // The express plane stays off: single reservation domain, single
+    // serializer per channel.
+    EXPECT_EQ(derived.reservationGroupSize, 0);
+    EXPECT_FALSE(derived.grouped());
+    EXPECT_FALSE(derived.multiPacketTx);
+    EXPECT_DOUBLE_EQ(derived.expressResLaserW, 0.0);
+
+    // Untouched knobs keep their defaults.
+    EXPECT_EQ(derived.cpuInjectSlots, legacy.cpuInjectSlots);
+    EXPECT_EQ(derived.linkLatencyCycles, legacy.linkLatencyCycles);
+    EXPECT_EQ(derived.reservationWindow, legacy.reservationWindow);
+    EXPECT_EQ(derived.initialState, legacy.initialState);
+}
+
+TEST(TopologySpec, DefaultSpecReproducesLegacySystemConfig)
+{
+    const SystemConfig derived = makeSystemConfig(TopologySpec{});
+    const SystemConfig legacy;
+
+    EXPECT_EQ(derived.home.numBanks, legacy.home.numBanks);
+    EXPECT_EQ(derived.home.memoryNode, legacy.home.memoryNode);
+    EXPECT_EQ(derived.hierarchy.l3Lines, legacy.hierarchy.l3Lines);
+    EXPECT_EQ(derived.arch.l3CacheMb, legacy.arch.l3CacheMb);
+    EXPECT_DOUBLE_EQ(derived.memResponsesPerCycle,
+                     legacy.memResponsesPerCycle);
+    // clusters=16 is the explicit form of the legacy auto (0 = one
+    // cluster per bank = 16); HeteroSystem builds the same chip.
+    EXPECT_EQ(derived.clusters, 16);
+    EXPECT_EQ(legacy.clusters, 0);
+}
+
+// Accept matrix ----------------------------------------------------------
+
+struct GroupingExpectation
+{
+    int clusters;
+    int groupSize;
+    int groups;
+};
+
+TEST(TopologySpec, AcceptedClusterCountsDeriveSaneGroups)
+{
+    // Auto grouping: chips up to 16 keep one domain, larger chips take
+    // the largest divisor <= 16 (prime 17 degenerates to 1 per group).
+    const GroupingExpectation expectations[] = {
+        {1, 1, 1},   {2, 2, 1},   {4, 4, 1},    {16, 16, 1},
+        {17, 1, 17}, {24, 12, 2}, {32, 16, 2},  {64, 16, 4},
+        {128, 16, 8},
+    };
+    const int legacy_reservation = PearlConfig{}.reservationCycles;
+    for (const auto &e : expectations) {
+        TopologySpec topo;
+        topo.clusters = e.clusters;
+        ASSERT_TRUE(topo.validate()) << "clusters=" << e.clusters;
+        EXPECT_EQ(topo.resolvedGroupSize(), e.groupSize)
+            << "clusters=" << e.clusters;
+        EXPECT_EQ(topo.numGroups(), e.groups)
+            << "clusters=" << e.clusters;
+
+        const PearlConfig cfg = topo.pearlConfig();
+        EXPECT_EQ(cfg.grouped(), e.groups > 1)
+            << "clusters=" << e.clusters;
+        // Domains never exceed the legacy 16-router width, so intra-group
+        // reservation latency never regresses past the Table II figure.
+        EXPECT_LE(cfg.reservationCycles, legacy_reservation)
+            << "clusters=" << e.clusters;
+        if (cfg.grouped()) {
+            EXPECT_GE(cfg.resExpressSlots, 2);
+            // Each router transmits on at most its CPU and GPU
+            // channels, so slots past 2x the group size could never be
+            // occupied.
+            EXPECT_LE(cfg.resExpressSlots, 2 * e.groupSize)
+                << "clusters=" << e.clusters;
+            // Express reservations are always exposed: at least as slow
+            // as the hidden intra-group path.
+            EXPECT_GE(cfg.expressReservationCycles, cfg.reservationCycles);
+            EXPECT_GT(cfg.expressResLaserW, 0.0);
+        }
+    }
+}
+
+TEST(TopologySpec, ExplicitGroupOverride)
+{
+    TopologySpec topo;
+    topo.clusters = 32;
+    topo.clustersPerGroup = 8;
+    ASSERT_TRUE(topo.validate());
+    EXPECT_EQ(topo.numGroups(), 4);
+
+    const PearlConfig cfg = topo.pearlConfig();
+    EXPECT_EQ(cfg.reservationGroupSize, 8);
+    EXPECT_EQ(cfg.rxRings, 4 * 8); // detectors tune per domain
+    EXPECT_EQ(cfg.resExpressSlots, 8); // one slot per router
+    EXPECT_TRUE(cfg.multiPacketTx);
+}
+
+TEST(TopologySpec, SingleDomainSpanningTheChipIsLegacyFabric)
+{
+    // clustersPerGroup == clusters is exactly the ungrouped fabric even
+    // above 16 clusters — one chip-wide reservation domain.
+    TopologySpec topo;
+    topo.clusters = 32;
+    topo.clustersPerGroup = 32;
+    ASSERT_TRUE(topo.validate());
+    const PearlConfig cfg = topo.pearlConfig();
+    EXPECT_FALSE(cfg.grouped());
+    EXPECT_EQ(cfg.rxRings, 4 * 32);
+}
+
+TEST(TopologySpec, McColocationFlowsToBothConfigs)
+{
+    TopologySpec topo;
+    topo.mcNode = 3;
+    ASSERT_TRUE(topo.validate());
+    EXPECT_EQ(topo.pearlConfig().l3Node, 3);
+    EXPECT_EQ(makeSystemConfig(topo).home.memoryNode, 3);
+}
+
+TEST(TopologySpec, CacheAndMemoryScaleWithClusters)
+{
+    TopologySpec topo;
+    topo.clusters = 32;
+    const SystemConfig sys = makeSystemConfig(topo);
+    EXPECT_EQ(sys.clusters, 32);
+    EXPECT_EQ(sys.home.numBanks, 32);
+    EXPECT_EQ(sys.home.memoryNode, 32);
+    // Per-cluster L3 slice held constant: 8192 lines / 0.5 MB each.
+    EXPECT_EQ(sys.hierarchy.l3Lines, 32u * 8192u);
+    EXPECT_EQ(sys.arch.l3CacheMb, 16);
+    EXPECT_DOUBLE_EQ(sys.memResponsesPerCycle, 0.1 * 32);
+
+    TopologySpec banked = topo;
+    banked.l3Banks = 8;
+    EXPECT_EQ(makeSystemConfig(banked).home.numBanks, 8);
+    EXPECT_EQ(makeSystemConfig(banked).clusters, 32);
+}
+
+// Reject matrix ----------------------------------------------------------
+
+TEST(TopologySpec, RejectsOutOfRangeClusterCounts)
+{
+    TopologySpec topo;
+    topo.clusters = 0;
+    EXPECT_TRUE(failsMentioning(topo.validate(), "clusters"));
+    topo.clusters = -4;
+    EXPECT_TRUE(failsMentioning(topo.validate(), "clusters"));
+    topo.clusters = cache::kMaxClusters + 1;
+    EXPECT_TRUE(failsMentioning(topo.validate(), "clusters"));
+    // pearlConfig() refuses to build from an invalid spec.
+    EXPECT_THROW(topo.pearlConfig(), ConfigError);
+    EXPECT_THROW(makeSystemConfig(topo), ConfigError);
+}
+
+TEST(TopologySpec, RejectsNonDividingGroupSize)
+{
+    TopologySpec topo;
+    topo.clusters = 32;
+    topo.clustersPerGroup = 5; // 32 % 5 != 0
+    EXPECT_TRUE(failsMentioning(topo.validate(), "divide"));
+    topo.clustersPerGroup = 33; // wider than the chip
+    EXPECT_TRUE(failsMentioning(topo.validate(), "clustersPerGroup"));
+    topo.clustersPerGroup = -1;
+    EXPECT_TRUE(failsMentioning(topo.validate(), "clustersPerGroup"));
+}
+
+TEST(TopologySpec, RejectsBadMcPlacement)
+{
+    TopologySpec topo;
+    topo.mcNode = -2;
+    EXPECT_TRUE(failsMentioning(topo.validate(), "mcNode"));
+    topo.mcNode = topo.clusters + 1; // past the dedicated hub id
+    EXPECT_TRUE(failsMentioning(topo.validate(), "mcNode"));
+}
+
+TEST(TopologySpec, RejectsBadBankingAndWaveguides)
+{
+    TopologySpec topo;
+    topo.l3Banks = topo.clusters + 1; // more slices than routers
+    EXPECT_TRUE(failsMentioning(topo.validate(), "l3Banks"));
+    topo.l3Banks = -1;
+    EXPECT_TRUE(failsMentioning(topo.validate(), "l3Banks"));
+
+    topo = TopologySpec{};
+    topo.hubWaveguides = -1;
+    EXPECT_TRUE(failsMentioning(topo.validate(), "hubWaveguides"));
+}
+
+// Degenerate end-to-end --------------------------------------------------
+
+TEST(TopologySpec, OneClusterChipRunsEndToEnd)
+{
+    // The degenerate chip: one cluster router + the hub.  All L3 traffic
+    // is either bank-local or cluster<->hub, and the fabric must still
+    // move it.
+    TopologySpec topo;
+    topo.clusters = 1;
+    photonic::PowerModel power;
+    StaticPolicy policy(photonic::WlState::WL64);
+    PearlNetwork net(topo.pearlConfig(), power, DbaConfig{}, &policy);
+    EXPECT_EQ(net.numNodes(), 2);
+
+    traffic::BenchmarkSuite suite;
+    traffic::BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};
+    HeteroSystem system(net, pair, makeSystemConfig(topo),
+                        [&net](int n) { return &net.telemetryOf(n); });
+    system.run(4000);
+    EXPECT_GT(net.stats().deliveredPackets(), 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace pearl

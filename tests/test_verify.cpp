@@ -22,7 +22,9 @@
 #include "core/network.hpp"
 #include "core/router.hpp"
 #include "core/system.hpp"
+#include "core/topology.hpp"
 #include "core/validate.hpp"
+#include "metrics/sweep.hpp"
 #include "ml/guarded_policy.hpp"
 #include "photonic/laser.hpp"
 #include "photonic/power_model.hpp"
@@ -116,6 +118,83 @@ TEST(RefDiff, GuardedMlPolicy)
             &fuzzModel(), ml::MlPolicyConfig{}, guard);
     };
     const DiffResult r = runDiff(d);
+    EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
+}
+
+/** The smallest grouped express chip: 4 clusters in two groups of 2,
+ *  one express slot per group so inter-group packets contend. */
+core::PearlConfig
+groupedConfig()
+{
+    core::PearlConfig cfg = smallConfig();
+    cfg.numClusters = 4;
+    cfg.l3Node = 4;
+    cfg.reservationGroupSize = 2;
+    cfg.resExpressSlots = 1;
+    cfg.expressReservationCycles = 3;
+    cfg.expressResLaserW = 0.0006;
+    return cfg;
+}
+
+TEST(RefDiff, GroupedExpressMatchesReferenceClassSplitDba)
+{
+    // The default DBA mode (PaperLadder) splits each group's express
+    // pool per traffic class; the reference mirrors the split inline.
+    core::PearlConfig cfg = groupedConfig();
+    cfg.resExpressSlots = 2;
+    ASSERT_TRUE(core::validate(cfg));
+    const DiffResult r = runDiff(smallCase(cfg));
+    EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
+    EXPECT_GT(r.deliveredPackets, 0u);
+}
+
+TEST(RefDiff, GroupedExpressMatchesReferenceFcfsSharedPool)
+{
+    core::PearlConfig cfg = groupedConfig();
+    ASSERT_TRUE(core::validate(cfg));
+    DiffCase d = smallCase(cfg);
+    d.dba.mode = core::DbaConfig::Mode::Fcfs;
+    const DiffResult r = runDiff(d);
+    EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
+    EXPECT_GT(r.deliveredPackets, 0u);
+}
+
+TEST(RefDiff, GroupedExpressWithFaultCappedPools)
+{
+    // Laser-bank failures shrink a group's express cap cycle by cycle;
+    // both simulators must agree on caps, grants and energy bit for
+    // bit while the invariant checker audits slot conservation.
+    core::PearlConfig cfg = groupedConfig();
+    cfg.resExpressSlots = 2;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 0xFA22;
+    cfg.faults.bankMtbfCycles = 300.0;
+    cfg.faults.bankMttrCycles = 200.0;
+    cfg.faults.reservationDropRate = 0.01;
+    cfg.ackTimeoutCycles = 12;
+    cfg.retryLimit = 3;
+    cfg.retxBackoffBase = 4;
+    cfg.retxBackoffMax = 32;
+    ASSERT_TRUE(core::validate(cfg));
+
+    DiffCase d = smallCase(cfg);
+    d.cycles = 1500;
+    const DiffResult r = runDiff(d);
+    EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
+    EXPECT_GT(r.deliveredPackets, 0u);
+}
+
+TEST(RefDiff, SingleGroupChipRunsUngrouped)
+{
+    // reservationGroupSize == numClusters means one group spanning the
+    // chip: grouped() is false, no express plane on either simulator —
+    // the scale-out plane's backward-compatibility contract (the
+    // golden-metrics suite pins the byte-identity half at 16 clusters).
+    core::PearlConfig cfg = smallConfig();
+    cfg.reservationGroupSize = cfg.numClusters;
+    ASSERT_TRUE(core::validate(cfg));
+    EXPECT_FALSE(cfg.grouped());
+    const DiffResult r = runDiff(smallCase(cfg));
     EXPECT_TRUE(r.ok()) << "cycle " << r.cycle << ": " << r.description;
 }
 
@@ -329,6 +408,65 @@ TEST(Invariants, AuditsEveryStepSilently)
         net.delivered().clear();
     }
     EXPECT_EQ(inv.stepsAudited(), 600u);
+}
+
+TEST(Invariants, MaxScaleChipRunsInvariantClean)
+{
+    // The acceptance ceiling of the scale-out plane: a 128-cluster chip
+    // (8 waveguide groups of 16) running the full system with every
+    // step audited — express-slot legality, packet conservation, energy
+    // monotonicity — for a bounded cycle budget.
+    core::TopologySpec topo;
+    topo.clusters = 128;
+    const core::PearlConfig cfg = topo.pearlConfig();
+    ASSERT_TRUE(cfg.grouped());
+    const photonic::PowerModel power;
+    core::StaticPolicy policy(photonic::WlState::WL64);
+    core::PearlNetwork net(cfg, power, core::DbaConfig{}, &policy);
+    Invariants inv;
+    net.setAuditor(&inv);
+
+    traffic::BenchmarkSuite suite;
+    traffic::BenchmarkPair pair{suite.find("FA"), suite.find("DCT")};
+    core::HeteroSystem system(
+        net, pair, core::makeSystemConfig(topo),
+        [&net](int n) { return &net.telemetryOf(n); });
+    ASSERT_NO_THROW(system.run(3000));
+
+    EXPECT_EQ(inv.stepsAudited(), 3000u);
+    EXPECT_GT(net.stats().deliveredPackets(), 100u);
+    // Inter-group traffic actually exercised the express plane.
+    EXPECT_GT(net.expressAcquired(), 0u);
+}
+
+TEST(Invariants, ScaleOut64ClusterSmoke)
+{
+    // The CI scale-out smoke (scripts/check.sh verify runs this under
+    // ASan with PEARL_VERIFY=1): a 64-cluster chip — 4 waveguide groups
+    // of 16 — through metrics::runPearl with a pinned seed and a
+    // bounded cycle budget, so the whole derived-config path
+    // (TopologySpec -> PearlConfig/SystemConfig -> Runner) is audited,
+    // not just a hand-assembled network.
+    core::TopologySpec topo;
+    topo.clusters = 64;
+    ASSERT_TRUE(topo.pearlConfig().grouped());
+
+    traffic::BenchmarkSuite suite;
+    metrics::RunSpec spec;
+    spec.configName = "scale64-smoke";
+    spec.pair = {suite.find("FA"), suite.find("DCT")};
+    spec.options.system = core::makeSystemConfig(topo);
+    spec.pearl = topo.pearlConfig();
+    spec.options.warmupCycles = 500;
+    spec.options.measureCycles = 2000;
+    spec.makePolicy = [] {
+        return std::make_unique<core::ReactivePolicy>(
+            core::ReactiveThresholds{});
+    };
+
+    const metrics::RunMetrics m = metrics::executeSpec(spec, /*seed=*/7);
+    EXPECT_GT(m.deliveredPackets, 100u);
+    EXPECT_GT(m.throughputFlitsPerCycle, 0.0);
 }
 
 TEST(Invariants, ConservationHoldsOnBalancedCounts)
