@@ -37,6 +37,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <sys/resource.h>
 #include <vector>
 
 #include "common/env.hpp"
@@ -66,6 +67,18 @@ runOptions()
     opts.measureCycles = envU64("PEARL_BENCH_CYCLES", 60000);
     opts.warmupCycles = envU64("PEARL_BENCH_WARMUP", 10000);
     return opts;
+}
+
+/** Process CPU time (user + system, all threads).  Immune to VM steal
+ *  and host contention, which swing wall clock on shared boxes by tens
+ *  of percent; the host-throughput benches clock on this. */
+inline double
+cpuSeconds()
+{
+    rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    return double(ru.ru_utime.tv_sec) + double(ru.ru_utime.tv_usec) * 1e-6 +
+           double(ru.ru_stime.tv_sec) + double(ru.ru_stime.tv_usec) * 1e-6;
 }
 
 /** The benchmark pairs a figure aggregates over. */

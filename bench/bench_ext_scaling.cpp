@@ -13,15 +13,20 @@
  * slot-arbitrated inter-group express broadcasts.
  *
  * Results land in BENCH_scaling.json (committed, like
- * BENCH_hotpath.json): every recorded number is simulation metrics at
- * a pinned seed, so the file is machine-independent and diffs only
- * when behaviour changes.  The headline figure is per-cluster
- * throughput retention at 64 clusters vs the paper-sized 16-cluster
- * chip.
+ * BENCH_hotpath.json): the simulation metrics are produced at a pinned
+ * seed, so those fields are machine-independent and diff only when
+ * behaviour changes.  Each row also records host cost —
+ * host_cycles_per_sec and host_sec_total, clocked on process CPU time
+ * — which IS machine-dependent; treat those two fields as a
+ * same-machine trajectory, not a cross-machine contract.  The headline
+ * figure is per-cluster throughput retention at 64 clusters vs the
+ * paper-sized 16-cluster chip.
  *
  * Knobs: PEARL_BENCH_CYCLES (60000), PEARL_BENCH_WARMUP (10000),
- * PEARL_BENCH_JSON (BENCH_scaling.json), plus the Runner's
- * observability knobs (PEARL_TRACE, PEARL_METRICS_DUMP, PEARL_VERIFY).
+ * PEARL_BENCH_JSON (BENCH_scaling.json), PEARL_STEP_THREADS (worker
+ * lanes for the deterministic parallel stepper; simulation output is
+ * bit-identical at any value), plus the Runner's observability knobs
+ * (PEARL_TRACE, PEARL_METRICS_DUMP, PEARL_VERIFY).
  */
 
 #include <cstdlib>
@@ -48,6 +53,8 @@ struct ScalingRow
     metrics::RunMetrics m;
     double perCluster = 0.0;
     double laserPjPerBit = 0.0;
+    double hostSecTotal = 0.0;      //!< process CPU seconds for the run
+    double hostCyclesPerSec = 0.0;  //!< simulated cycles per host second
 };
 
 void
@@ -79,6 +86,8 @@ writeJson(const std::string &path, const std::vector<ScalingRow> &rows,
             << ", \"cpu_latency_cycles\": " << r.m.cpuLatencyCycles
             << ", \"laser_energy_per_bit_pj\": " << r.laserPjPerBit
             << ", \"delivered_packets\": " << r.m.deliveredPackets
+            << ", \"host_cycles_per_sec\": " << r.hostCyclesPerSec
+            << ", \"host_sec_total\": " << r.hostSecTotal
             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n"
@@ -98,7 +107,8 @@ validateJson(const std::string &path)
     const std::string text = buf.str();
     for (const char *key :
          {"\"bench\": \"ext_scaling\"", "\"results\"",
-          "\"per_cluster_throughput\"", "\"waveguide_groups\""}) {
+          "\"per_cluster_throughput\"", "\"waveguide_groups\"",
+          "\"host_cycles_per_sec\"", "\"host_sec_total\""}) {
         if (text.find(key) == std::string::npos)
             fatal(path, ": missing key ", key);
     }
@@ -153,17 +163,25 @@ run()
         specs.push_back(std::move(spec));
     }
 
+    // Each spec runs serially on the calling thread so the CPU-time
+    // delta around it is that topology's own host cost (the stepper's
+    // worker lanes are included — getrusage covers all threads).
     metrics::Runner runner;
-    const std::vector<metrics::RunMetrics> all = runner.runAll(specs);
-
     TextTable t({"clusters", "groups", "thru (flits/cyc)",
                  "thru/cluster", "vs 16", "avg lat", "cpu lat",
-                 "laser energy/bit (pJ)"});
+                 "laser energy/bit (pJ)", "host c/s"});
     std::vector<ScalingRow> rows;
-    for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         ScalingRow row;
         row.topo = topos[i];
-        row.m = all[i];
+        const double t0 = cpuSeconds();
+        row.m = runner.run(specs[i]);
+        row.hostSecTotal = cpuSeconds() - t0;
+        if (row.hostSecTotal > 0.0) {
+            row.hostCyclesPerSec =
+                double(opts.warmupCycles + opts.measureCycles) /
+                row.hostSecTotal;
+        }
         row.perCluster =
             row.m.throughputFlitsPerCycle / row.topo.clusters;
         const double bits = static_cast<double>(row.m.deliveredBits);
@@ -185,7 +203,8 @@ run()
                                  2),
                   TextTable::num(r.m.avgLatencyCycles, 1),
                   TextTable::num(r.m.cpuLatencyCycles, 1),
-                  TextTable::num(r.laserPjPerBit, 2)});
+                  TextTable::num(r.laserPjPerBit, 2),
+                  TextTable::num(r.hostCyclesPerSec, 0)});
     }
     emit(t);
 

@@ -53,15 +53,6 @@ constexpr Baseline kBaseline[] = {
     {"ml", 98252.0, 5885.4},
 };
 
-double
-cpuSeconds()
-{
-    rusage ru;
-    getrusage(RUSAGE_SELF, &ru);
-    return double(ru.ru_utime.tv_sec) + double(ru.ru_utime.tv_usec) * 1e-6 +
-           double(ru.ru_stime.tv_sec) + double(ru.ru_stime.tv_usec) * 1e-6;
-}
-
 struct HotpathResult
 {
     std::string config;

@@ -201,6 +201,10 @@ envRegistry()
         {"PEARL_FAST_FORWARD", "bool", "1",
          "analytic idle fast-forward in system runs; set 0 to force "
          "cycle-by-cycle stepping"},
+        {"PEARL_STEP_THREADS", "u64", "1",
+         "worker lanes for deterministic intra-run parallel stepping "
+         "(bit-identical at any count; an explicit "
+         "RunOptions::stepThreads overrides)"},
         {"PEARL_VERIFY", "bool", "0",
          "install the invariant auditor on every network built through "
          "the Runner facade (packet conservation, buffer and express "

@@ -1,10 +1,12 @@
 #include "metrics/experiment.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "common/log.hpp"
 #include "core/network.hpp"
 #include "photonic/power_model.hpp"
+#include "sim/worker_pool.hpp"
 #include "verify/invariants.hpp"
 
 namespace pearl {
@@ -230,6 +232,18 @@ runPearl(const traffic::BenchmarkPair &pair,
     core::HeteroSystem system(
         net, pair, sys,
         [&net](int node) { return &net.telemetryOf(node); });
+
+    // Deterministic intra-run parallelism: shard the network step and
+    // the node ticks across a persistent pool.  Bit-identical at any
+    // lane count; 1 lane (the default) never builds a pool, keeping
+    // the serial code path untouched.
+    std::unique_ptr<sim::WorkerPool> pool;
+    const unsigned lanes = sim::resolveStepThreads(opts.stepThreads);
+    if (lanes > 1) {
+        pool = std::make_unique<sim::WorkerPool>(lanes);
+        net.setWorkerPool(pool.get());
+        system.setWorkerPool(pool.get());
+    }
     timing.buildSeconds = secondsSince(t_build);
 
     const Clock::time_point t_warmup = Clock::now();

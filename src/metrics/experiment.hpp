@@ -92,6 +92,16 @@ struct RunOptions
     std::uint64_t seed = 1;
     core::SystemConfig system;
 
+    /**
+     * Worker lanes for deterministic intra-run parallel stepping
+     * (PEARL fabric only; results are bit-identical at any count).
+     * 0 — the default — resolves PEARL_STEP_THREADS from the
+     * environment (which defaults to 1, the exact serial path); a
+     * nonzero value overrides the environment, which is how the
+     * parallel-step tests pin both sides of a comparison.
+     */
+    unsigned stepThreads = 0;
+
     // Observability-plane sinks (all optional, non-owning; null — the
     // default — keeps the run bit-identical to an uninstrumented one).
     obs::Tracer *tracer = nullptr;        //!< per-window event trace

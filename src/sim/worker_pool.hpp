@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Persistent worker pool for deterministic intra-run parallelism.
+ *
+ * PearlNetwork::step() and HeteroSystem::stepOnce() shard their
+ * per-router / per-node loops across a fixed set of worker threads and
+ * then fold the per-shard scratch back into shared state in a fixed
+ * serial order, so the simulation result is bit-identical at any thread
+ * count.  The pool exists to make the parallel regions cheap: threads
+ * are spawned once per run (not per cycle) and parked on a condition
+ * variable between regions.  SweepRunner can later share the same pool
+ * for job-level parallelism.
+ *
+ * parallelFor(n, fn) runs fn(0..n-1) across the workers plus the
+ * calling thread, each index exactly once, and returns only after every
+ * index has completed (a full barrier).  Index claiming is a mutex-
+ * protected counter — shards are few (≤ a handful per lane) and each
+ * does thousands of cycles' worth of router work, so claim overhead is
+ * noise, and plain mutex/condvar synchronisation keeps the pool
+ * trivially ThreadSanitizer-clean.  The first exception thrown by any
+ * task is captured and rethrown on the calling thread after the
+ * barrier.
+ *
+ * Thread count is resolved by resolveStepThreads(): an explicit
+ * request (RunOptions::stepThreads, DiffCase::stepThreads) wins, else
+ * the PEARL_STEP_THREADS environment knob, else 1 — and 1 means the
+ * callers never construct a pool at all, leaving the serial code path
+ * byte-identical to the pre-parallelism tree.
+ */
+
+#ifndef PEARL_SIM_WORKER_POOL_HPP
+#define PEARL_SIM_WORKER_POOL_HPP
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+
+namespace pearl {
+namespace sim {
+
+/** Hard ceiling on worker lanes; far above any real host, it only
+ *  bounds damage from a mistyped PEARL_STEP_THREADS. */
+constexpr unsigned kMaxStepThreads = 256;
+
+/** Resolve the effective worker-lane count for one run: an explicit
+ *  nonzero request wins (tests pin both sides of a comparison this
+ *  way), else PEARL_STEP_THREADS, else 1 (serial). */
+inline unsigned
+resolveStepThreads(unsigned requested)
+{
+    std::uint64_t lanes = requested;
+    if (lanes == 0)
+        lanes = envU64("PEARL_STEP_THREADS", 1);
+    if (lanes == 0)
+        lanes = 1;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(lanes, kMaxStepThreads));
+}
+
+/** Fixed-size pool of parked threads running barrier-style index
+ *  ranges.  One lane is the calling thread, so lanes() == requested
+ *  concurrency and a 1-lane pool spawns no threads at all. */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(unsigned lanes)
+    {
+        const unsigned n = std::max(1u, std::min(lanes, kMaxStepThreads));
+        workers_.reserve(n - 1);
+        for (unsigned i = 0; i + 1 < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total concurrency, including the calling thread's lane. */
+    unsigned
+    lanes() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /** Run fn(0..tasks-1), each index exactly once, across all lanes;
+     *  returns after every index completed.  Rethrows the first task
+     *  exception on the caller.  Not reentrant: tasks must not call
+     *  parallelFor on the same pool. */
+    void
+    parallelFor(int tasks, const std::function<void(int)> &fn)
+    {
+        if (tasks <= 0)
+            return;
+        if (workers_.empty() || tasks == 1) {
+            for (int i = 0; i < tasks; ++i)
+                fn(i);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            PEARL_ASSERT(fn_ == nullptr); // reentrancy guard
+            fn_ = &fn;
+            tasks_ = tasks;
+            next_ = 0;
+            done_ = 0;
+            ++generation_;
+        }
+        wake_.notify_all();
+        runTasks();
+        std::unique_lock<std::mutex> lock(mutex_);
+        finished_.wait(lock, [this] { return done_ == tasks_; });
+        fn_ = nullptr;
+        if (error_) {
+            std::exception_ptr e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    void
+    runTasks()
+    {
+        for (;;) {
+            int index;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (next_ >= tasks_)
+                    return;
+                index = next_++;
+            }
+            try {
+                (*fn_)(index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (++done_ == tasks_)
+                finished_.notify_all();
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this, &seen] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+            }
+            runTasks();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable finished_;
+    const std::function<void(int)> *fn_ = nullptr;
+    int tasks_ = 0;
+    int next_ = 0;
+    int done_ = 0;
+    std::uint64_t generation_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+} // namespace sim
+} // namespace pearl
+
+#endif // PEARL_SIM_WORKER_POOL_HPP

@@ -1,6 +1,7 @@
 #include "verify/diff.hpp"
 
 #include <bit>
+#include <memory>
 #include <sstream>
 
 #include "core/network.hpp"
@@ -248,6 +249,15 @@ runDiff(const DiffCase &c)
 
     core::PearlNetwork pearl(c.cfg, power, c.dba, pearl_policy.get());
     RefNetwork ref(c.cfg, power, c.dba, ref_policy.get());
+
+    // Parallel stepping on the optimized side only: the serial
+    // reference then certifies the sharded step bit for bit.
+    std::unique_ptr<sim::WorkerPool> pool;
+    const unsigned lanes = sim::resolveStepThreads(c.stepThreads);
+    if (lanes > 1) {
+        pool = std::make_unique<sim::WorkerPool>(lanes);
+        pearl.setWorkerPool(pool.get());
+    }
 
     Invariants invariants;
     if (c.checkInvariants)

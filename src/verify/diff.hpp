@@ -71,6 +71,11 @@ struct DiffCase
     std::function<std::unique_ptr<core::PowerPolicy>()> makePolicy;
     /** Install the runtime invariant checker on the optimized side. */
     bool checkInvariants = true;
+    /** Worker lanes for the optimized side's parallel stepping: 0
+     *  resolves PEARL_STEP_THREADS (default 1 = serial); a nonzero
+     *  value overrides.  The reference side always steps serially, so
+     *  the lockstep comparison proves the parallel path bit-exact. */
+    unsigned stepThreads = 0;
 };
 
 /** Outcome of a differential run. */

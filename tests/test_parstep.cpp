@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Deterministic parallel stepping: bit-identity at every thread count.
+ *
+ * The sharded PearlNetwork::step() (sim::WorkerPool, PEARL_STEP_THREADS)
+ * promises byte-identical simulation output at 1, 2 and N worker lanes.
+ * This suite pins that promise from four directions:
+ *
+ *  - WorkerPool unit tests: every index runs exactly once, the pool is
+ *    reusable across parallelFor calls, the first worker exception is
+ *    rethrown on the caller, and a 1-lane pool degenerates to inline
+ *    execution.
+ *  - Golden-grid byte-identity: the tests/golden CSVs (written by
+ *    the pre-existing serial path) are compared byte for byte against
+ *    canonical CSV rows produced at 1, 2 and 8 step threads — one
+ *    comparison proves both parallel == serial and serial == pre-PR.
+ *  - Lockstep differential: runDiff pits the sharded network against the
+ *    always-serial RefNetwork on a grouped chip with the full fault
+ *    plane enabled, at several thread counts.
+ *  - Fuzz campaign: generated cases re-run through the differential
+ *    harness with a per-case randomized thread count, plus sweep-level
+ *    RunMetrics identity checks with randomized lanes.
+ *
+ * The whole binary is tier1, so the TSAN flavour of scripts/check.sh
+ * runs it under ThreadSanitizer (with PEARL_STEP_THREADS=8 exported).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/topology.hpp"
+#include "metrics/csv.hpp"
+#include "metrics/sweep.hpp"
+#include "ml/pipeline.hpp"
+#include "ml/policy.hpp"
+#include "sim/worker_pool.hpp"
+#include "traffic/suite.hpp"
+#include "verify/diff.hpp"
+#include "verify/fuzzer.hpp"
+
+#ifndef PEARL_GOLDEN_DIR
+#error "PEARL_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace pearl {
+namespace {
+
+using metrics::RunMetrics;
+using metrics::RunOptions;
+using metrics::RunSpec;
+using metrics::SweepOptions;
+using metrics::SweepResult;
+using metrics::SweepRunner;
+
+/** RAII env-var override (set/restored outside any worker launch). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+// ---------------------------------------------------------------------
+// WorkerPool unit tests.
+// ---------------------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryIndexOnceAndIsReusable)
+{
+    sim::WorkerPool pool(4);
+    EXPECT_EQ(pool.lanes(), 4u);
+
+    constexpr int kTasks = 203;
+    // Two rounds through the same pool: reuse must not leak state from
+    // the previous parallelFor (generation counter, done count).
+    for (int round = 0; round < 2; ++round) {
+        std::vector<std::atomic<int>> hits(kTasks);
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(kTasks, [&](int i) { hits[i].fetch_add(1); });
+        for (int i = 0; i < kTasks; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "round " << round
+                                         << " index " << i;
+    }
+}
+
+TEST(WorkerPool, PropagatesFirstWorkerException)
+{
+    sim::WorkerPool pool(3);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](int i) {
+                                      if (i == 17)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool must stay usable after an exceptional round.
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&](int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(WorkerPool, SingleLanePoolRunsInline)
+{
+    sim::WorkerPool pool(1);
+    EXPECT_EQ(pool.lanes(), 1u);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](int i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(StepThreads, ExplicitRequestOverridesEnv)
+{
+    {
+        ScopedEnv env("PEARL_STEP_THREADS", "3");
+        EXPECT_EQ(sim::resolveStepThreads(0), 3u);
+        EXPECT_EQ(sim::resolveStepThreads(8), 8u);
+    }
+    {
+        ScopedEnv env("PEARL_STEP_THREADS", "0");
+        EXPECT_EQ(sim::resolveStepThreads(0), 1u);
+    }
+    {
+        ScopedEnv env("PEARL_STEP_THREADS", nullptr);
+        EXPECT_EQ(sim::resolveStepThreads(0), 1u);
+        EXPECT_EQ(sim::resolveStepThreads(2), 2u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden-grid byte-identity.  The grid below mirrors the one in
+// test_golden_metrics.cpp; the checked-in CSVs are the contract between
+// the two binaries, so any drift in either copy fails both suites.
+// ---------------------------------------------------------------------
+
+RunOptions
+goldenOptions()
+{
+    RunOptions opts;
+    opts.warmupCycles = 400;
+    opts.measureCycles = 2500;
+    return opts;
+}
+
+std::vector<traffic::BenchmarkPair>
+goldenPairs(const traffic::BenchmarkSuite &suite)
+{
+    return {
+        {suite.find("Rad"), suite.find("QRS")},
+        {suite.find("FA"), suite.find("Reduc")},
+        {suite.find("x264"), suite.find("DCT")},
+    };
+}
+
+const ml::PipelineResult &
+goldenModel(const traffic::BenchmarkSuite &suite)
+{
+    static const ml::PipelineResult trained = [&suite] {
+        ml::PipelineConfig cfg;
+        cfg.reservationWindow = 500;
+        cfg.simCycles = 4000;
+        cfg.maxTrainPairs = 2;
+        cfg.maxValPairs = 1;
+        cfg.secondPass = false;
+        cfg.lambdaGrid = {0.1, 10.0};
+        return ml::TrainingPipeline(suite, cfg).run();
+    }();
+    return trained;
+}
+
+struct GoldenConfig
+{
+    std::string name;
+    std::vector<RunSpec> jobs;
+};
+
+std::vector<GoldenConfig>
+goldenGrid(const traffic::BenchmarkSuite &suite)
+{
+    const RunOptions opts = goldenOptions();
+    const auto pairs = goldenPairs(suite);
+
+    std::vector<GoldenConfig> grid;
+    auto addConfig =
+        [&](const std::string &name, const core::DbaConfig &dba,
+            std::function<std::unique_ptr<core::PowerPolicy>()> make) {
+            GoldenConfig cfg;
+            cfg.name = name;
+            for (const auto &pair : pairs) {
+                RunSpec job;
+                job.configName = name;
+                job.pair = pair;
+                job.options = opts;
+                job.dba = dba;
+                job.pearl.reservationWindow = 500;
+                job.makePolicy = make;
+                cfg.jobs.push_back(std::move(job));
+            }
+            grid.push_back(std::move(cfg));
+        };
+
+    core::DbaConfig fcfs;
+    fcfs.mode = core::DbaConfig::Mode::Fcfs;
+    addConfig("fcfs", fcfs, [] {
+        return std::make_unique<core::StaticPolicy>(
+            photonic::WlState::WL64);
+    });
+    addConfig("reactive", core::DbaConfig{}, [] {
+        return std::make_unique<core::ReactivePolicy>();
+    });
+    const ml::RidgeRegression &model = goldenModel(suite).model;
+    addConfig("ml", core::DbaConfig{}, [&model] {
+        return std::make_unique<ml::MlPowerPolicy>(&model);
+    });
+    return grid;
+}
+
+/** 32-cluster grouped chip, same shape as the scale32 golden. */
+GoldenConfig
+scale32Config(const traffic::BenchmarkSuite &suite)
+{
+    core::TopologySpec topo;
+    topo.clusters = 32;
+    GoldenConfig cfg;
+    cfg.name = "scale32";
+    for (const auto &pair : goldenPairs(suite)) {
+        RunSpec job;
+        job.configName = cfg.name;
+        job.pair = pair;
+        job.options = goldenOptions();
+        job.options.system = core::makeSystemConfig(topo);
+        job.pearl = topo.pearlConfig();
+        job.makePolicy = [] {
+            return std::make_unique<core::ReactivePolicy>();
+        };
+        cfg.jobs.push_back(std::move(job));
+    }
+    return cfg;
+}
+
+/** Data rows of a checked-in golden CSV (header skipped). */
+std::vector<std::string>
+goldenLines(const std::string &config)
+{
+    const std::string path =
+        std::string(PEARL_GOLDEN_DIR) + "/" + config + ".csv";
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "missing golden file " << path;
+    std::vector<std::string> rows;
+    std::string line;
+    std::getline(in, line); // header
+    while (std::getline(in, line))
+        if (!line.empty())
+            rows.push_back(line);
+    return rows;
+}
+
+/** Canonical CSV rows for one config at a given lane count. */
+std::vector<std::string>
+rowsAtThreads(const GoldenConfig &cfg, unsigned threads)
+{
+    std::vector<RunSpec> jobs = cfg.jobs;
+    for (RunSpec &job : jobs)
+        job.options.stepThreads = threads;
+    SweepOptions so;
+    so.baseSeed = 100;
+    const SweepResult result = SweepRunner(so).run(jobs);
+    EXPECT_TRUE(result.allOk())
+        << (result.firstError() ? result.firstError()->error : "unknown");
+    std::vector<std::string> rows;
+    for (const RunMetrics &m : result.metricsOrThrow())
+        rows.push_back(metrics::csvRow({m.pairLabel}, m));
+    return rows;
+}
+
+void
+expectRowsMatchGolden(const GoldenConfig &cfg, unsigned threads)
+{
+    SCOPED_TRACE("config " + cfg.name + " threads " +
+                 std::to_string(threads));
+    const std::vector<std::string> golden = goldenLines(cfg.name);
+    const std::vector<std::string> rows = rowsAtThreads(cfg, threads);
+    ASSERT_EQ(rows.size(), golden.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(rows[i], golden[i]) << "row " << i;
+}
+
+TEST(ParallelStep, GoldenGridRowsByteIdenticalAtAnyThreadCount)
+{
+    // The golden CSVs were produced by the serial path, so equality at
+    // threads=1 proves the refactored serial path unchanged, and
+    // equality at 2/8 proves the sharded path bit-identical to it.
+    traffic::BenchmarkSuite suite;
+    for (const GoldenConfig &cfg : goldenGrid(suite))
+        for (unsigned threads : {1u, 2u, 8u})
+            expectRowsMatchGolden(cfg, threads);
+}
+
+TEST(ParallelStep, Scale32GroupedRowsByteIdenticalAtAnyThreadCount)
+{
+    traffic::BenchmarkSuite suite;
+    const GoldenConfig cfg = scale32Config(suite);
+    expectRowsMatchGolden(cfg, 1);
+    expectRowsMatchGolden(cfg, 2);
+    {
+        // The widest fan-out also runs under the invariant auditor, so
+        // shard boundaries crossing waveguide groups would surface as a
+        // legality violation here, not just as metric drift.
+        ScopedEnv verify_env("PEARL_VERIFY", "1");
+        expectRowsMatchGolden(cfg, 8);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lockstep differential and fuzz campaign.
+// ---------------------------------------------------------------------
+
+/** Grouped 16-cluster chip with the full fault plane on: BER
+ *  corruption, reservation drops, bank outages, retransmissions. */
+verify::FuzzCase
+groupedFaultedCase()
+{
+    verify::FuzzCase c;
+    c.numClusters = 16;
+    c.reservationGroupSize = 4;
+    c.resExpressSlots = 2;
+    c.faultsEnabled = true;
+    c.bankMtbfCycles = 20000.0;
+    c.bankMttrCycles = 400.0;
+    c.baseBer = 1e-4;
+    c.reservationDropRate = 0.01;
+    c.cycles = 800;
+    c.cpuRate = 0.08;
+    c.gpuRate = 0.08;
+    return c;
+}
+
+TEST(ParallelStep, LockstepWithFaultsOnGroupedChip)
+{
+    const verify::FuzzCase c = groupedFaultedCase();
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        verify::DiffCase dc = verify::toDiffCase(c);
+        dc.stepThreads = threads;
+        const verify::DiffResult r = verify::runDiff(dc);
+        EXPECT_TRUE(r.ok()) << "diverged at cycle " << r.cycle << ": "
+                            << r.description;
+        EXPECT_GT(r.deliveredPackets, 0u);
+    }
+}
+
+TEST(ParallelStep, FuzzCampaignWithRandomThreadCounts)
+{
+    // Each generated case runs the differential harness with a
+    // case-dependent lane count in [2, 8]; the serial reference makes
+    // every comparison a parallel-vs-serial bit-identity proof.
+    const std::uint64_t cases = pearl::envU64("PEARL_FUZZ_CASES", 24);
+    for (std::uint64_t i = 0; i < cases; ++i) {
+        const verify::FuzzCase c = verify::generateCase(0xBEEF, i);
+        verify::DiffCase dc = verify::toDiffCase(c);
+        dc.stepThreads = 2 + static_cast<unsigned>(i % 7);
+        SCOPED_TRACE("case " + std::to_string(i) + " threads " +
+                     std::to_string(dc.stepThreads));
+        const verify::DiffResult r = verify::runDiff(dc);
+        EXPECT_TRUE(r.ok()) << "diverged at cycle " << r.cycle << ": "
+                            << r.description << "\n"
+                            << verify::describeCase(c);
+    }
+}
+
+TEST(ParallelStep, SweepMetricsIdenticalWithRandomThreadCounts)
+{
+    // Full-system check at the RunMetrics level: the same job swept
+    // serially and at a randomized lane count must emit byte-identical
+    // canonical CSV rows (caches, memory, policy windows included).
+    traffic::BenchmarkSuite suite;
+    const auto pairs = goldenPairs(suite);
+    for (std::size_t i = 0; i < 6; ++i) {
+        RunSpec job;
+        job.configName = "rand";
+        job.pair = pairs[i % pairs.size()];
+        job.options = goldenOptions();
+        job.options.measureCycles = 1200;
+        job.pearl.reservationWindow = 300 + 50 * static_cast<int>(i);
+        job.makePolicy = [] {
+            return std::make_unique<core::ReactivePolicy>();
+        };
+
+        SweepOptions so;
+        so.baseSeed = 100 + static_cast<std::uint64_t>(i);
+
+        std::vector<RunSpec> serial_jobs{job};
+        serial_jobs[0].options.stepThreads = 1;
+        const auto serial =
+            SweepRunner(so).run(serial_jobs).metricsOrThrow();
+
+        std::vector<RunSpec> par_jobs{job};
+        par_jobs[0].options.stepThreads =
+            2 + static_cast<unsigned>((i * 5 + 1) % 7);
+        const auto par = SweepRunner(so).run(par_jobs).metricsOrThrow();
+
+        ASSERT_EQ(serial.size(), 1u);
+        ASSERT_EQ(par.size(), 1u);
+        EXPECT_EQ(metrics::csvRow({serial[0].pairLabel}, serial[0]),
+                  metrics::csvRow({par[0].pairLabel}, par[0]))
+            << "job " << i << " threads "
+            << par_jobs[0].options.stepThreads;
+    }
+}
+
+} // namespace
+} // namespace pearl

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -431,6 +432,17 @@ TEST(Invariants, MaxScaleChipRunsInvariantClean)
     core::HeteroSystem system(
         net, pair, core::makeSystemConfig(topo),
         [&net](int n) { return &net.telemetryOf(n); });
+
+    // The CI verify job exports PEARL_STEP_THREADS=4 so this max-scale
+    // audit also covers the sharded step path under ASan; the default
+    // (1) keeps it serial.
+    std::unique_ptr<sim::WorkerPool> pool;
+    const unsigned lanes = sim::resolveStepThreads(0);
+    if (lanes > 1) {
+        pool = std::make_unique<sim::WorkerPool>(lanes);
+        net.setWorkerPool(pool.get());
+        system.setWorkerPool(pool.get());
+    }
     ASSERT_NO_THROW(system.run(3000));
 
     EXPECT_EQ(inv.stepsAudited(), 3000u);
