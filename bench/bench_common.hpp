@@ -11,7 +11,8 @@
  *   PEARL_BENCH_TRAIN    training cycles per pair     (default 30000)
  *   PEARL_BENCH_TRAIN_PAIRS  training pairs, 0 = all  (default 0)
  *   PEARL_BENCH_CSV      also print CSV               (default 0)
- *   PEARL_SWEEP_THREADS  sweep worker threads; 1 = serial
+ *   PEARL_THREADS        shared engine thread budget (sweep
+ *                        workers x step lanes); 1 = serial
  *                        (default: hardware concurrency)
  *   PEARL_TRACE          per-window event tracing     (default 0)
  *   PEARL_TRACE_PATH     trace file stem (".jsonl" -> JSONL backend,
@@ -183,7 +184,7 @@ sweepFooter()
 
 /**
  * Run a spec grid through the metrics::Runner facade (environment
- * configured: trace/dump knobs + PEARL_SWEEP_THREADS), feed the footer
+ * configured: trace/dump knobs + PEARL_THREADS), feed the footer
  * tracker, and return the metrics in submission order (fatal on
  * failure).
  */

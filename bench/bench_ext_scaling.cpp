@@ -23,7 +23,7 @@
  * paper-sized 16-cluster chip.
  *
  * Knobs: PEARL_BENCH_CYCLES (60000), PEARL_BENCH_WARMUP (10000),
- * PEARL_BENCH_JSON (BENCH_scaling.json), PEARL_STEP_THREADS (worker
+ * PEARL_BENCH_JSON (BENCH_scaling.json), PEARL_THREADS (worker
  * lanes for the deterministic parallel stepper; simulation output is
  * bit-identical at any value), plus the Runner's observability knobs
  * (PEARL_TRACE, PEARL_METRICS_DUMP, PEARL_VERIFY).

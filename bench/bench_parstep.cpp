@@ -1,26 +1,36 @@
 /**
  * @file
- * Parallel-stepping throughput bench: host cost of the deterministic
- * sharded PearlNetwork::step() at 1/2/4/8 worker lanes on 16-, 64- and
- * 128-cluster chips (FA/DCT pair, static WL64 policy, pinned seed).
+ * Execution-engine throughput bench, three sections:
+ *
+ *  - PEARL: the deterministic sharded PearlNetwork::step() at 1/2/4/8
+ *    worker lanes on 16-, 64- and 128-cluster chips (FA/DCT pair,
+ *    static WL64 policy, pinned seed).
+ *  - CMESH: the wavefront-parallel electrical baseline
+ *    (electrical::CmeshNetwork, default 4x4 mesh) at the same lane
+ *    counts.
+ *  - Sweep x step matrix: an 8-job grid swept under shared
+ *    PEARL_THREADS budgets of 2/4/8/16, so min(C, 8) job workers each
+ *    step floor(C / W) lanes leased from one engine.
  *
  * Two clocks per run: process CPU time (getrusage, covers all worker
  * threads — the total compute burned) and monotonic wall time (what a
  * user waits; this is where lanes > 1 can win, and only up to the
  * physical core count).  Each combination runs PEARL_BENCH_REPS times
  * and keeps the best wall rep.  The bench also byte-compares every
- * multi-lane run's canonical CSV row against the serial row of the
- * same topology — a rep that is not bit-identical is a fatal error,
- * so the committed numbers can never come from a diverged simulation.
+ * multi-lane / pooled run's canonical CSV rows against the serial rows
+ * of the same shape — a rep that is not bit-identical is a fatal
+ * error, so the committed numbers can never come from a diverged
+ * simulation.
  *
- * Results land in BENCH_parstep.json together with host_cpus: the
- * speedup column is only meaningful relative to the recorded core
- * count (on a 1-core host every extra lane is pure scheduling overhead
- * in wall time, while output stays bit-identical — that is the
- * documented expectation, not a failure).
+ * Results land in BENCH_parstep.json together with host_cpus and the
+ * PEARL_PIN state: the speedup column is only meaningful relative to
+ * the recorded core count (on a 1-core host every extra lane is pure
+ * scheduling overhead in wall time, while output stays bit-identical —
+ * that is the documented expectation, not a failure).
  *
  * Knobs: PEARL_BENCH_CYCLES (20000), PEARL_BENCH_WARMUP (4000),
- * PEARL_BENCH_REPS (3), PEARL_BENCH_JSON (BENCH_parstep.json).
+ * PEARL_BENCH_REPS (3), PEARL_BENCH_JSON (BENCH_parstep.json),
+ * PEARL_PIN (recorded and honoured by the leased pools).
  */
 
 #include <chrono>
@@ -36,6 +46,7 @@
 #include "core/topology.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/runner.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace pearl {
 namespace bench {
@@ -47,6 +58,7 @@ constexpr std::uint64_t kSeed = 1;
 
 struct ParstepResult
 {
+    std::string fabric = "pearl";
     int clusters = 0;
     unsigned threads = 0;
     double cpuSec = 0.0;
@@ -55,6 +67,17 @@ struct ParstepResult
     double cyclesPerSecCpu = 0.0;
     double speedupVsSerialWall = 0.0;
     std::uint64_t deliveredPackets = 0;
+    bool identicalToSerial = false;
+};
+
+/** One sweep of the 8-job grid under a shared PEARL_THREADS budget. */
+struct SweepMatrixResult
+{
+    unsigned budget = 0;  //!< PEARL_THREADS (0 = serial baseline)
+    unsigned workers = 0; //!< job workers the runner actually used
+    unsigned lanes = 0;   //!< step lanes leased per worker
+    double cpuSec = 0.0;
+    double wallSec = 0.0;
     bool identicalToSerial = false;
 };
 
@@ -68,6 +91,7 @@ wallSeconds()
 
 void
 writeJson(const std::string &path, const std::vector<ParstepResult> &runs,
+          const std::vector<SweepMatrixResult> &sweeps,
           std::uint64_t warmup, std::uint64_t cycles, std::uint64_t reps)
 {
     std::ofstream out(path);
@@ -83,13 +107,16 @@ writeJson(const std::string &path, const std::vector<ParstepResult> &runs,
         << "  \"reps\": " << reps << ",\n"
         << "  \"host_cpus\": " << std::thread::hardware_concurrency()
         << ",\n"
+        << "  \"pinning\": "
+        << (sim::lanePinningRequested() ? "true" : "false") << ",\n"
         << "  \"note\": \"wall speedup is bounded by host_cpus; on a "
            "1-core host extra lanes cost scheduling overhead while "
            "output stays bit-identical (identical_to_serial)\",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const ParstepResult &r = runs[i];
-        out << "    {\"clusters\": " << r.clusters
+        out << "    {\"fabric\": \"" << r.fabric << "\""
+            << ", \"clusters\": " << r.clusters
             << ", \"threads\": " << r.threads
             << ", \"cpu_sec\": " << r.cpuSec
             << ", \"wall_sec\": " << r.wallSec
@@ -100,6 +127,19 @@ writeJson(const std::string &path, const std::vector<ParstepResult> &runs,
             << ", \"identical_to_serial\": "
             << (r.identicalToSerial ? "true" : "false") << "}"
             << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"sweep_matrix\": [\n";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepMatrixResult &r = sweeps[i];
+        out << "    {\"budget\": " << r.budget
+            << ", \"workers\": " << r.workers
+            << ", \"lanes\": " << r.lanes
+            << ", \"cpu_sec\": " << r.cpuSec
+            << ", \"wall_sec\": " << r.wallSec
+            << ", \"identical_to_serial\": "
+            << (r.identicalToSerial ? "true" : "false") << "}"
+            << (i + 1 < sweeps.size() ? "," : "") << "\n";
     }
     out << "  ]\n"
         << "}\n";
@@ -118,6 +158,7 @@ validateJson(const std::string &path)
     const std::string text = buf.str();
     for (const char *key :
          {"\"bench\": \"parstep\"", "\"results\"", "\"host_cpus\"",
+          "\"pinning\"", "\"fabric\": \"cmesh\"", "\"sweep_matrix\"",
           "\"cycles_per_sec_wall\"", "\"identical_to_serial\""}) {
         if (text.find(key) == std::string::npos)
             fatal(path, ": missing key ", key);
@@ -158,32 +199,21 @@ run()
                                       suite.find("DCT")};
 
     metrics::Runner runner;
-    TextTable table({"clusters", "threads", "wall s", "cpu s",
+    TextTable table({"fabric", "clusters", "threads", "wall s", "cpu s",
                      "cycles/s (wall)", "speedup", "identical"});
     std::vector<ParstepResult> results;
 
-    for (int clusters : kClusterCounts) {
-        core::TopologySpec topo;
-        topo.clusters = clusters;
-
+    // Benches one spec shape across kThreadCounts with the serial row
+    // as the bit-identity reference, appending to table + results.
+    auto benchSpec = [&](const std::string &fabric, int clusters,
+                         metrics::RunSpec spec) {
         double serial_wall = 0.0;
         std::string serial_row;
         for (unsigned threads : kThreadCounts) {
-            metrics::RunSpec spec;
-            spec.configName = "parstep" + std::to_string(clusters);
-            spec.pair = pair;
-            spec.options.warmupCycles = warmup;
-            spec.options.measureCycles = cycles;
-            spec.options.system = core::makeSystemConfig(topo);
             spec.options.stepThreads = threads;
-            spec.pearl = topo.pearlConfig();
-            spec.makePolicy = [] {
-                return std::make_unique<core::StaticPolicy>(
-                    photonic::WlState::WL64);
-            };
-            spec.explicitSeed = kSeed;
 
             ParstepResult best;
+            best.fabric = fabric;
             best.clusters = clusters;
             best.threads = threads;
             std::string row;
@@ -195,8 +225,8 @@ run()
                 const double wall = wallSeconds() - w0;
                 if (wall <= 0.0 || cpu <= 0.0 ||
                     m.deliveredPackets == 0)
-                    fatal("degenerate rep at ", clusters, " clusters / ",
-                          threads, " threads");
+                    fatal("degenerate rep at ", fabric, " ", clusters,
+                          " clusters / ", threads, " threads");
                 row = metrics::csvRow({m.pairLabel}, m);
                 if (best.wallSec == 0.0 || wall < best.wallSec) {
                     best.wallSec = wall;
@@ -218,13 +248,13 @@ run()
                 // committed as performance data.
                 best.identicalToSerial = row == serial_row;
                 if (!best.identicalToSerial)
-                    fatal("canonical CSV row at ", clusters,
-                          " clusters / ", threads,
+                    fatal("canonical CSV row at ", fabric, " ",
+                          clusters, " clusters / ", threads,
                           " threads differs from the serial row");
                 best.speedupVsSerialWall = serial_wall / best.wallSec;
             }
 
-            table.addRow({std::to_string(clusters),
+            table.addRow({fabric, std::to_string(clusters),
                           std::to_string(threads),
                           TextTable::num(best.wallSec, 3),
                           TextTable::num(best.cpuSec, 3),
@@ -234,10 +264,137 @@ run()
                           best.identicalToSerial ? "yes" : "NO"});
             results.push_back(best);
         }
+    };
+
+    for (int clusters : kClusterCounts) {
+        core::TopologySpec topo;
+        topo.clusters = clusters;
+
+        metrics::RunSpec spec;
+        spec.configName = "parstep" + std::to_string(clusters);
+        spec.pair = pair;
+        spec.options.warmupCycles = warmup;
+        spec.options.measureCycles = cycles;
+        spec.options.system = core::makeSystemConfig(topo);
+        spec.pearl = topo.pearlConfig();
+        spec.makePolicy = [] {
+            return std::make_unique<core::StaticPolicy>(
+                photonic::WlState::WL64);
+        };
+        spec.explicitSeed = kSeed;
+        benchSpec("pearl", clusters, std::move(spec));
     }
+
+    {
+        // Electrical baseline: the default 4x4 CMESH through the
+        // wavefront-parallel stepper, same bit-identity gate.
+        metrics::RunSpec spec;
+        spec.configName = "parstep_cmesh";
+        spec.pair = pair;
+        spec.fabric = metrics::RunSpec::Fabric::Cmesh;
+        spec.options.warmupCycles = warmup;
+        spec.options.measureCycles = cycles;
+        spec.explicitSeed = kSeed;
+        benchSpec("cmesh", 16, std::move(spec));
+    }
+
     emit(table);
 
-    writeJson(json_path, results, warmup, cycles, reps);
+    // Sweep x step matrix: the same 8-job grid swept serially and
+    // under shared budgets, each job's canonical row compared byte
+    // for byte against the serial sweep.
+    std::vector<SweepMatrixResult> sweeps;
+    {
+        std::vector<metrics::RunSpec> jobs;
+        for (int i = 0; i < 8; ++i) {
+            metrics::RunSpec job;
+            job.configName = "matrix";
+            job.pair = pair;
+            job.options.warmupCycles = warmup / 4;
+            job.options.measureCycles = cycles / 4;
+            job.pearl.reservationWindow = 300 + 25 * i;
+            job.makePolicy = [] {
+                return std::make_unique<core::StaticPolicy>(
+                    photonic::WlState::WL64);
+            };
+            jobs.push_back(std::move(job));
+        }
+
+        const char *saved_budget = std::getenv("PEARL_THREADS");
+        const std::string saved =
+            saved_budget ? std::string(saved_budget) : std::string();
+
+        auto sweepRows = [&jobs](std::vector<std::string> &rows) {
+            metrics::SweepOptions so;
+            so.baseSeed = kSeed;
+            const auto runs = metrics::SweepRunner(so)
+                                  .run(jobs)
+                                  .metricsOrThrow();
+            rows.clear();
+            for (const metrics::RunMetrics &m : runs)
+                rows.push_back(metrics::csvRow({m.pairLabel}, m));
+        };
+
+        TextTable sweep_table({"budget", "workers", "lanes", "wall s",
+                               "cpu s", "identical"});
+        std::vector<std::string> serial_rows;
+        ::unsetenv("PEARL_THREADS");
+        {
+            SweepMatrixResult base;
+            base.budget = 0;
+            base.workers = 1;
+            base.lanes = 1;
+            metrics::SweepOptions so;
+            so.baseSeed = kSeed;
+            so.threads = 1;
+            const double w0 = wallSeconds();
+            const double c0 = cpuSeconds();
+            const auto runs =
+                metrics::SweepRunner(so).run(jobs).metricsOrThrow();
+            base.cpuSec = cpuSeconds() - c0;
+            base.wallSec = wallSeconds() - w0;
+            base.identicalToSerial = true;
+            for (const metrics::RunMetrics &m : runs)
+                serial_rows.push_back(metrics::csvRow({m.pairLabel}, m));
+            sweep_table.addRow({"serial", "1", "1",
+                                TextTable::num(base.wallSec, 3),
+                                TextTable::num(base.cpuSec, 3), "yes"});
+            sweeps.push_back(base);
+        }
+
+        for (unsigned budget : {2u, 4u, 8u, 16u}) {
+            ::setenv("PEARL_THREADS", std::to_string(budget).c_str(), 1);
+            SweepMatrixResult r;
+            r.budget = budget;
+            r.workers = budget < 8 ? budget : 8;
+            r.lanes = budget / r.workers > 0 ? budget / r.workers : 1;
+            std::vector<std::string> rows;
+            const double w0 = wallSeconds();
+            const double c0 = cpuSeconds();
+            sweepRows(rows);
+            r.cpuSec = cpuSeconds() - c0;
+            r.wallSec = wallSeconds() - w0;
+            r.identicalToSerial = rows == serial_rows;
+            if (!r.identicalToSerial)
+                fatal("sweep rows under PEARL_THREADS=", budget,
+                      " differ from the serial sweep");
+            sweep_table.addRow({std::to_string(budget),
+                                std::to_string(r.workers),
+                                std::to_string(r.lanes),
+                                TextTable::num(r.wallSec, 3),
+                                TextTable::num(r.cpuSec, 3), "yes"});
+            sweeps.push_back(r);
+        }
+        if (!saved.empty() || saved_budget)
+            ::setenv("PEARL_THREADS", saved.c_str(), 1);
+        else
+            ::unsetenv("PEARL_THREADS");
+
+        std::cout << "\nsweep x step matrix (8 jobs, shared budget):\n";
+        emit(sweep_table);
+    }
+
+    writeJson(json_path, results, sweeps, warmup, cycles, reps);
     validateJson(json_path);
     std::cout << "\n[parstep] wrote " << json_path << " (host cpus: "
               << std::thread::hardware_concurrency() << ")\n";

@@ -13,7 +13,7 @@
  * the guardrails decided the model could no longer be trusted.
  *
  * The 5 severities x 4 policies grid runs through the parallel sweep
- * engine (PEARL_SWEEP_THREADS=1 forces the serial path); every cell
+ * engine (PEARL_THREADS=1 forces the serial path); every cell
  * keeps the same traffic seed so the policies stay comparable under an
  * identical fault realisation.
  *

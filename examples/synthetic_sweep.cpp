@@ -7,7 +7,7 @@
  * CMESH under a chosen synthetic pattern, showing where each network
  * saturates.  Every (network, load) point is an independent simulation,
  * so the grid runs through the parallel sweep engine; results are
- * bit-identical at any PEARL_SWEEP_THREADS setting.
+ * bit-identical at any PEARL_THREADS setting.
  *
  * Usage: synthetic_sweep [pattern]   (uniform|transpose|bitcomp|hotspot|
  *                                     neighbor; default uniform)

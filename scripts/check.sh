@@ -57,21 +57,22 @@ run_flavour() {
     }
 
     if [ "$flavour" = verify ]; then
-        # PEARL_STEP_THREADS=4 drives the whole differential suite —
+        # PEARL_THREADS=4 drives the whole differential suite —
         # including the 128-cluster invariant-clean smoke — through the
-        # sharded parallel step path, audited under ASan.
+        # shared-engine parallel step path, audited under ASan.
         echo "==> [verify] ctest -L verify (invariants on, fuzz smoke," \
-             "4 step threads)"
+             "PEARL_THREADS=4)"
         PEARL_VERIFY=1 \
-        PEARL_STEP_THREADS=4 \
+        PEARL_THREADS=4 \
         PEARL_FUZZ_CASES="${PEARL_FUZZ_CASES:-200}" \
         PEARL_FUZZ_SECONDS="${PEARL_FUZZ_SECONDS:-30}" \
             ctest --test-dir "$dir" -L verify --output-on-failure
     elif [ "$flavour" = tsan ]; then
-        # Worker lanes forced on so ThreadSanitizer race-checks the
-        # parallel stepper (and its tests) across the whole suite.
-        echo "==> [tsan] ctest -L tier1 (8 step threads)"
-        PEARL_STEP_THREADS=8 \
+        # A shared engine budget forces worker lanes on, so
+        # ThreadSanitizer race-checks the execution engine — nested
+        # sweep x step leasing included — across the whole suite.
+        echo "==> [tsan] ctest -L tier1 (PEARL_THREADS=8)"
+        PEARL_THREADS=8 \
             ctest --test-dir "$dir" -L tier1 --output-on-failure
     else
         echo "==> [$flavour] ctest -L tier1"

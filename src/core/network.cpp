@@ -317,6 +317,16 @@ PearlNetwork::step()
         router.resetWindow(next);
     }
 
+    // Dynamic shard rebalancing: at every full reservation-window
+    // boundary, re-pack the shard ranges from the busy counters the
+    // parallel middle accumulated.  The trigger and the packing are
+    // pure functions of simulation state (never timing), and the
+    // serial folds concatenate shards in ascending-router order under
+    // any contiguous packing, so results are byte-identical.
+    if (rebalance_ && !shards_.empty() && rw > 0 && cycle_ > 0 &&
+        now_mod == 0)
+        rebalanceShards();
+
     // Verification plane: the auditor sees the post-step state tagged
     // with the cycle that just executed.
     if (auditor_)
@@ -464,6 +474,10 @@ PearlNetwork::stepParallelMiddle()
                         router.transmitCycle(cycle_, done);
                     router.ejectCycle(cycle_, del);
                     router.accumulateOccupancy();
+                    // Rebalance telemetry: each router belongs to
+                    // exactly one shard, so the counter is race-free.
+                    if (rebalance_)
+                        ++busyScratch_[static_cast<std::size_t>(r)];
                 }
                 router.laser().tick(cfg_.cycleSeconds);
                 if (cfg_.useThermalModel) {
@@ -552,52 +566,41 @@ PearlNetwork::stepParallelMiddle()
 }
 
 void
-PearlNetwork::setWorkerPool(sim::WorkerPool *pool)
+PearlNetwork::packShards(const std::vector<std::uint64_t> &router_weight)
 {
-    pool_ = pool;
+    // Greedy contiguous packing of the indivisible units into at most
+    // shardLanes_ shards, balanced by weight: each shard takes units
+    // until it reaches ceil(remaining weight / remaining shards).
+    // With uniform weights this reproduces the original equal-count
+    // packing; skewed weights move the boundaries toward the busy
+    // routers.  A heavily skewed window may pack into fewer shards
+    // than lanes (even one) — still correct, just less parallel.
     shards_.clear();
-    shardDone_.clear();
-    shardDelivered_.clear();
-    const unsigned lanes = pool_ ? pool_->lanes() : 1;
-    if (lanes <= 1)
-        return;
-
-    // Shard units: whole waveguide groups (a group's express-slot pool
-    // is arbitrated in router order within the group, so it must stay
-    // single-threaded) plus the hub as its own unit; ungrouped chips
-    // shard per router.  Units are packed contiguously and rebalanced
-    // as shards fill, so shard sizes differ by at most one unit.
-    std::vector<int> unit_end;
-    if (cfg_.grouped()) {
-        const int gs = cfg_.reservationGroupSize;
-        for (int g = 1; g <= cfg_.numGroups(); ++g)
-            unit_end.push_back(g * gs);
-        if (unit_end.empty() || unit_end.back() < cfg_.numNodes())
-            unit_end.push_back(cfg_.numNodes());
-    } else {
-        for (int r = 1; r <= cfg_.numNodes(); ++r)
-            unit_end.push_back(r);
-    }
-
     const int n = cfg_.numNodes();
-    const int max_shards = static_cast<int>(lanes);
+    std::uint64_t remaining_weight = 0;
+    for (int r = 0; r < n; ++r)
+        remaining_weight += router_weight[static_cast<std::size_t>(r)];
     int begin = 0;
     std::size_t u = 0;
-    for (int s = 0; s < max_shards && begin < n; ++s) {
-        const int remaining = max_shards - s;
-        const int target = (n - begin + remaining - 1) / remaining;
+    for (int s = 0; s < shardLanes_ && begin < n; ++s) {
+        const std::uint64_t remaining =
+            static_cast<std::uint64_t>(shardLanes_ - s);
+        const std::uint64_t target =
+            (remaining_weight + remaining - 1) / remaining;
         int end = begin;
-        while (u < unit_end.size() && end - begin < target)
-            end = unit_end[u++];
+        std::uint64_t acc = 0;
+        while (u < shardUnitEnd_.size() && acc < target) {
+            const int unit_end = shardUnitEnd_[u++];
+            for (int r = end; r < unit_end; ++r)
+                acc += router_weight[static_cast<std::size_t>(r)];
+            end = unit_end;
+        }
         shards_.push_back(StepShard{begin, end});
         begin = end;
+        remaining_weight -= acc;
     }
     if (!shards_.empty() && begin < n)
         shards_.back().end = n;
-    if (shards_.size() <= 1) {
-        shards_.clear();
-        return;
-    }
 
     // Pre-size the per-shard scratch so the cycle loop stays
     // allocation-free in steady state (same discipline as the shared
@@ -610,7 +613,67 @@ PearlNetwork::setWorkerPool(sim::WorkerPool *pool)
         shardDone_[s].reserve(routers_in_shard * 8 + 64);
         shardDelivered_[s].reserve(routers_in_shard * 8 + 64);
     }
+}
+
+void
+PearlNetwork::rebalanceShards()
+{
+    // Weight = busy cycles + 1: the +1 keeps every router non-zero so
+    // packing always terminates, and an all-idle window degenerates to
+    // exactly the uniform packing setWorkerPool installed.
+    std::vector<std::uint64_t> weight(busyScratch_.size());
+    for (std::size_t r = 0; r < weight.size(); ++r)
+        weight[r] = busyScratch_[r] + 1;
+    packShards(weight);
+    std::fill(busyScratch_.begin(), busyScratch_.end(), 0);
+}
+
+void
+PearlNetwork::setWorkerPool(sim::WorkerPool *pool)
+{
+    pool_ = pool;
+    shards_.clear();
+    shardDone_.clear();
+    shardDelivered_.clear();
+    shardUnitEnd_.clear();
+    shardLanes_ = 0;
+    const unsigned lanes = pool_ ? pool_->lanes() : 1;
+    if (lanes <= 1)
+        return;
+
+    // Shard units: whole waveguide groups (a group's express-slot pool
+    // is arbitrated in router order within the group, so it must stay
+    // single-threaded) plus the hub as its own unit; ungrouped chips
+    // shard per router.  Units are packed contiguously and rebalanced
+    // as shards fill, so shard sizes differ by at most one unit.
+    if (cfg_.grouped()) {
+        const int gs = cfg_.reservationGroupSize;
+        for (int g = 1; g <= cfg_.numGroups(); ++g)
+            shardUnitEnd_.push_back(g * gs);
+        if (shardUnitEnd_.empty() ||
+            shardUnitEnd_.back() < cfg_.numNodes())
+            shardUnitEnd_.push_back(cfg_.numNodes());
+    } else {
+        for (int r = 1; r <= cfg_.numNodes(); ++r)
+            shardUnitEnd_.push_back(r);
+    }
+
+    shardLanes_ = static_cast<int>(lanes);
+    packShards(std::vector<std::uint64_t>(
+        static_cast<std::size_t>(cfg_.numNodes()), 1));
+    if (shards_.size() <= 1) {
+        shards_.clear();
+        shardDone_.clear();
+        shardDelivered_.clear();
+        shardUnitEnd_.clear();
+        shardLanes_ = 0;
+        return;
+    }
     trimScratch_.assign(routers_.size(), 0.0);
+
+    // Dynamic rebalancing default; setShardRebalance() overrides.
+    rebalance_ = envBool("PEARL_REBALANCE", false);
+    busyScratch_.assign(routers_.size(), 0);
 }
 
 sim::Cycle

@@ -145,6 +145,19 @@ class PearlNetwork : public sim::Network
      */
     void setWorkerPool(sim::WorkerPool *pool);
 
+    /**
+     * Enable/disable dynamic shard rebalancing (PEARL_REBALANCE sets
+     * the default when setWorkerPool runs).  When on, the parallel
+     * step counts busy (non-quiescent) cycles per router and re-packs
+     * the shard boundaries from those counters at every full
+     * reservation-window boundary.  Deterministic: the counters are a
+     * pure function of simulation state, and any contiguous ascending
+     * packing folds in the same serial order — results are unchanged,
+     * only the per-lane work split moves.
+     */
+    void setShardRebalance(bool on) { rebalance_ = on; }
+    bool shardRebalance() const { return rebalance_; }
+
     // sim::Network --------------------------------------------------------
     bool inject(const sim::Packet &pkt) override;
     bool canInject(const sim::Packet &pkt) const override;
@@ -382,6 +395,19 @@ class PearlNetwork : public sim::Network
     std::vector<std::vector<TxCompletion>> shardDone_;
     std::vector<std::vector<sim::Packet>> shardDelivered_;
     std::vector<double> trimScratch_; //!< per-router trimming joules
+
+    /** Pack `shardUnitEnd_` units into ≤ shardLanes_ contiguous shards
+     *  balanced by per-router weight (uniform weights reproduce the
+     *  original equal-count packing exactly). */
+    void packShards(const std::vector<std::uint64_t> &router_weight);
+    /** Re-pack from busyScratch_ + 1 and reset the counters. */
+    void rebalanceShards();
+
+    // Dynamic shard rebalancing (PEARL_REBALANCE; parallel path only).
+    bool rebalance_ = false;
+    int shardLanes_ = 0;              //!< lane count captured at install
+    std::vector<int> shardUnitEnd_;   //!< indivisible unit boundaries
+    std::vector<std::uint64_t> busyScratch_; //!< busy cycles per router
 };
 
 } // namespace core

@@ -234,15 +234,20 @@ runPearl(const traffic::BenchmarkPair &pair,
         [&net](int node) { return &net.telemetryOf(node); });
 
     // Deterministic intra-run parallelism: shard the network step and
-    // the node ticks across a persistent pool.  Bit-identical at any
-    // lane count; 1 lane (the default) never builds a pool, keeping
+    // the node ticks across a pool leased from the shared execution
+    // engine (or one pre-leased by SweepRunner).  Bit-identical at any
+    // lane count; 1 lane (the default) never installs a pool, keeping
     // the serial code path untouched.
-    std::unique_ptr<sim::WorkerPool> pool;
-    const unsigned lanes = sim::resolveStepThreads(opts.stepThreads);
-    if (lanes > 1) {
-        pool = std::make_unique<sim::WorkerPool>(lanes);
-        net.setWorkerPool(pool.get());
-        system.setWorkerPool(pool.get());
+    sim::PoolLease lease;
+    sim::WorkerPool *pool = opts.pool;
+    if (!pool) {
+        lease = sim::ExecutionEngine::instance().lease(
+            sim::resolveStepThreads(opts.stepThreads));
+        pool = lease.pool();
+    }
+    if (pool && pool->lanes() > 1) {
+        net.setWorkerPool(pool);
+        system.setWorkerPool(pool);
     }
     timing.buildSeconds = secondsSince(t_build);
 
@@ -309,6 +314,20 @@ runCmesh(const traffic::BenchmarkPair &pair,
     core::HeteroSystem system(net, pair, sys);
     if (opts.tracer)
         traceRunStart(opts, config_name, pair.label());
+
+    // The electrical baseline shards its step the same way as the
+    // photonic fabric (see cmesh.cpp); same lease, same determinism.
+    sim::PoolLease lease;
+    sim::WorkerPool *pool = opts.pool;
+    if (!pool) {
+        lease = sim::ExecutionEngine::instance().lease(
+            sim::resolveStepThreads(opts.stepThreads));
+        pool = lease.pool();
+    }
+    if (pool && pool->lanes() > 1) {
+        net.setWorkerPool(pool);
+        system.setWorkerPool(pool);
+    }
     timing.buildSeconds = secondsSince(t_build);
 
     const double dt = sys.arch.networkCycleSeconds();

@@ -16,6 +16,7 @@
 #include "core/validate.hpp"
 #include "electrical/validate.hpp"
 #include "metrics/csv.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace pearl {
 namespace metrics {
@@ -257,17 +258,9 @@ SweepResult::metricsOrThrow() const
 unsigned
 SweepRunner::resolveThreads(unsigned requested)
 {
-    if (const char *v = std::getenv("PEARL_SWEEP_THREADS")) {
-        std::uint64_t n = 0;
-        if (parseU64(v, n) && n > 0) {
-            return static_cast<unsigned>(n);
-        }
-        warn("ignoring invalid PEARL_SWEEP_THREADS=\"", v, "\"");
-    }
-    if (requested > 0)
-        return requested;
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return sim::resolveThreadBudget(requested, "PEARL_SWEEP_THREADS",
+                                    hw > 0 ? hw : 1);
 }
 
 SweepResult
@@ -277,12 +270,34 @@ SweepRunner::run(const std::vector<RunSpec> &jobs) const
     result.jobs.resize(jobs.size());
 
     const std::size_t n = jobs.size();
-    const unsigned threads = std::min<std::size_t>(
-        resolveThreads(opts_.threads), n > 0 ? n : 1);
+    const unsigned budget = resolveThreads(opts_.threads);
+    const unsigned threads =
+        std::min<std::size_t>(budget, n > 0 ? n : 1);
     result.summary.jobs = n;
     result.summary.threads = threads;
     if (n == 0)
         return result;
+
+    // Hierarchical lane leasing (shared budget only): with
+    // PEARL_THREADS set, the C-thread budget is split across the W job
+    // workers as floor(C / W) step lanes each.  The W pools are leased
+    // here, on the calling thread, in index order — the plan is a pure
+    // function of (budget, job count), never of timing — and a job
+    // only adopts its worker's pool when it did not pin its own
+    // stepThreads.  Without the shared budget, lane_quota stays 0 and
+    // each job resolves its step lanes independently as before.
+    const unsigned lane_quota =
+        sim::ExecutionEngine::configuredBudget() > 0
+            ? std::max(1u, budget / std::max(threads, 1u))
+            : 0;
+    std::vector<sim::PoolLease> lane_pools;
+    if (lane_quota > 1) {
+        lane_pools.reserve(threads);
+        for (unsigned w = 0; w < threads; ++w) {
+            lane_pools.push_back(
+                sim::ExecutionEngine::instance().lease(lane_quota));
+        }
+    }
 
     // Crash-safe checkpointing: restore finished jobs from the journal
     // (resume), then stream every newly completed row into it.
@@ -301,8 +316,9 @@ SweepRunner::run(const std::vector<RunSpec> &jobs) const
 
     // Each worker claims job indices from the shared counter and writes
     // only its own result slot, so the slots need no lock; joining the
-    // workers publishes everything to the caller.
-    auto worker = [&] {
+    // workers publishes everything to the caller.  `w` is the worker's
+    // submission index, which names its pre-leased lane pool.
+    auto worker = [&](unsigned w) {
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -353,6 +369,16 @@ SweepRunner::run(const std::vector<RunSpec> &jobs) const
             if (!job.custom) {
                 traced = job;
                 traced.options.phases = &slot.phases;
+                // Shared budget: the job steps on this worker's
+                // pre-leased lane slice instead of re-resolving
+                // PEARL_THREADS (which would oversubscribe W × C).
+                // An explicit per-job stepThreads or pool still wins.
+                if (lane_quota > 0 && traced.options.stepThreads == 0 &&
+                    traced.options.pool == nullptr) {
+                    traced.options.stepThreads = lane_quota;
+                    if (lane_quota > 1)
+                        traced.options.pool = lane_pools[w].pool();
+                }
                 to_run = &traced;
             }
             std::unique_ptr<obs::Tracer> tracer;
@@ -407,12 +433,12 @@ SweepRunner::run(const std::vector<RunSpec> &jobs) const
 
     const Clock::time_point sweep_start = Clock::now();
     if (threads <= 1) {
-        worker(); // serial path: no threads spawned at all
+        worker(0); // serial path: no job threads spawned at all
     } else {
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t);
         for (std::thread &t : pool)
             t.join();
     }

@@ -15,10 +15,17 @@
  *  - per-run state (network, system, policy) is constructed inside the
  *    worker, so jobs share nothing mutable.
  *
- * Thread count: `SweepOptions::threads`, defaulting to
- * `std::thread::hardware_concurrency()`; the `PEARL_SWEEP_THREADS`
- * environment variable overrides both, and `1` forces the serial path
- * (no worker threads are spawned at all).
+ * Thread budget: an explicit `SweepOptions::threads` wins, else the
+ * shared `PEARL_THREADS` budget, else the deprecated
+ * `PEARL_SWEEP_THREADS`, else `hardware_concurrency()` (see
+ * `sim::resolveThreadBudget`); `1` forces the serial path (no worker
+ * threads are spawned at all).  Under the shared budget the runner
+ * leases hierarchically from `sim::ExecutionEngine`: C threads over N
+ * jobs become W = min(C, N) job workers stepping floor(C / W) lanes
+ * each, with every lane pool leased on the calling thread in
+ * submission order — the lease plan is a function of the grid shape,
+ * never of timing, so sweep results stay byte-identical to serial at
+ * any core count.
  *
  * Fault tolerance (DESIGN.md "Resilience"):
  *
@@ -104,8 +111,9 @@ struct RunSpec
 /** Sweep-wide knobs. */
 struct SweepOptions
 {
-    /** Worker threads; 0 = hardware_concurrency().  The
-     *  PEARL_SWEEP_THREADS environment variable overrides either. */
+    /** Worker threads.  Nonzero pins the count; 0 — the default —
+     *  resolves the shared PEARL_THREADS budget, then the deprecated
+     *  PEARL_SWEEP_THREADS, then hardware_concurrency(). */
     unsigned threads = 0;
     /** Base of the per-job seed derivation. */
     std::uint64_t baseSeed = 100;
@@ -246,8 +254,11 @@ class SweepRunner
     SweepResult run(const std::vector<RunSpec> &jobs) const;
 
     /**
-     * Effective thread count: PEARL_SWEEP_THREADS if set and valid,
-     * else `requested` if nonzero, else hardware_concurrency().
+     * Effective job-worker budget: `requested` if nonzero, else the
+     * shared PEARL_THREADS budget, else the deprecated
+     * PEARL_SWEEP_THREADS (warns once), else hardware_concurrency().
+     * One precedence rule for every tier — see
+     * sim::resolveThreadBudget().
      */
     static unsigned resolveThreads(unsigned requested);
 

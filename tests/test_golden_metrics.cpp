@@ -344,6 +344,51 @@ TEST(GoldenMetrics, Scale32GroupedRowsMatchCheckedInResults)
     }
 }
 
+/** The electrical-baseline row: the default 4x4 CMESH driven through
+ *  the same sweep machinery.  This is the reference fabric of every
+ *  paper figure, and since PR 10 it shares the parallel stepper, so
+ *  its goldens also anchor the parallel-vs-serial identity tests in
+ *  test_parstep. */
+GoldenConfig
+cmeshConfig(const traffic::BenchmarkSuite &suite)
+{
+    GoldenConfig cfg;
+    cfg.name = "cmesh";
+    for (const auto &pair : goldenPairs(suite)) {
+        RunSpec job;
+        job.configName = cfg.name;
+        job.pair = pair;
+        job.options = goldenOptions();
+        job.fabric = RunSpec::Fabric::Cmesh;
+        cfg.jobs.push_back(std::move(job));
+    }
+    return cfg;
+}
+
+TEST(GoldenMetrics, CmeshRowsMatchCheckedInResults)
+{
+    const bool update = pearl::envU64("PEARL_UPDATE_GOLDEN", 0) != 0;
+
+    traffic::BenchmarkSuite suite;
+    const GoldenConfig cfg = cmeshConfig(suite);
+    SCOPED_TRACE("config " + cfg.name);
+    SweepOptions so;
+    so.baseSeed = 100;
+    const SweepResult result = SweepRunner(so).run(cfg.jobs);
+    ASSERT_TRUE(result.allOk())
+        << (result.firstError() ? result.firstError()->error : "unknown");
+    const std::vector<RunMetrics> runs = result.metricsOrThrow();
+    for (const RunMetrics &m : runs)
+        ASSERT_GT(m.deliveredPackets, 0u);
+
+    if (update) {
+        writeGolden(cfg, runs);
+        std::cout << "[golden] updated " << goldenPath(cfg.name) << "\n";
+    } else {
+        compareGolden(cfg, runs);
+    }
+}
+
 } // namespace
 } // namespace metrics
 } // namespace pearl

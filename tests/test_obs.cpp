@@ -474,6 +474,7 @@ TEST(Obs, RegistryReconcilesExactlyWithRunMetrics)
 TEST(Obs, PerJobTracesAreIdenticalAcrossSweepThreadCounts)
 {
     // The test owns the thread count; neutralise any ambient override.
+    unsetenv("PEARL_THREADS");
     unsetenv("PEARL_SWEEP_THREADS");
 
     traffic::BenchmarkSuite suite;
@@ -563,6 +564,7 @@ TEST(Obs, ChromeTraceFromRunnerIsValidAndCarriesAllCategories)
 
 TEST(Obs, TracingIsZeroCostAndDisabledMatchesGolden)
 {
+    unsetenv("PEARL_THREADS");
     unsetenv("PEARL_SWEEP_THREADS");
 
     // The fcfs golden grid, exactly as test_golden_metrics runs it.

@@ -2,27 +2,35 @@
  * @file
  * Deterministic parallel stepping: bit-identity at every thread count.
  *
- * The sharded PearlNetwork::step() (sim::WorkerPool, PEARL_STEP_THREADS)
- * promises byte-identical simulation output at 1, 2 and N worker lanes.
- * This suite pins that promise from four directions:
+ * The shared execution engine (sim::ExecutionEngine, PEARL_THREADS)
+ * promises byte-identical simulation output at 1, 2 and N worker lanes,
+ * for single runs and for sweeps leasing job x lane slices from one
+ * budget.  This suite pins that promise from several directions:
  *
  *  - WorkerPool unit tests: every index runs exactly once, the pool is
  *    reusable across parallelFor calls, the first worker exception is
  *    rethrown on the caller, and a 1-lane pool degenerates to inline
  *    execution.
+ *  - Thread-budget precedence: every pair of (explicit request,
+ *    PEARL_THREADS, deprecated PEARL_STEP_THREADS) resolves the same
+ *    way through sim::resolveThreadBudget.
  *  - Golden-grid byte-identity: the tests/golden CSVs (written by
  *    the pre-existing serial path) are compared byte for byte against
- *    canonical CSV rows produced at 1, 2 and 8 step threads — one
- *    comparison proves both parallel == serial and serial == pre-PR.
+ *    canonical CSV rows produced at 1, 2 and 8 step threads — for the
+ *    PEARL fabric, the CMESH electrical baseline, and with dynamic
+ *    shard rebalancing (PEARL_REBALANCE) switched on.
+ *  - Shared-pool sweep: the same grid swept serially and under
+ *    PEARL_THREADS=16 (8 jobs x 2 lanes from one pool, with and
+ *    without PEARL_PIN) must emit byte-identical canonical CSV rows.
  *  - Lockstep differential: runDiff pits the sharded network against the
  *    always-serial RefNetwork on a grouped chip with the full fault
- *    plane enabled, at several thread counts.
+ *    plane enabled, at several thread counts and with rebalancing on;
+ *    runCmeshDiff does the same for the electrical baseline.
  *  - Fuzz campaign: generated cases re-run through the differential
- *    harness with a per-case randomized thread count, plus sweep-level
- *    RunMetrics identity checks with randomized lanes.
+ *    harness with per-case randomized lane counts and rebalance flags.
  *
  * The whole binary is tier1, so the TSAN flavour of scripts/check.sh
- * runs it under ThreadSanitizer (with PEARL_STEP_THREADS=8 exported).
+ * runs it under ThreadSanitizer (with PEARL_THREADS=8 exported).
  */
 
 #include <gtest/gtest.h>
@@ -136,21 +144,64 @@ TEST(WorkerPool, SingleLanePoolRunsInline)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(StepThreads, ExplicitRequestOverridesEnv)
+TEST(StepThreads, PrecedenceAcrossEveryKnobPair)
 {
+    // Satellite unit test for sim::resolveThreadBudget: explicit
+    // request > PEARL_THREADS > deprecated legacy knob > fallback,
+    // checked for every pair of layers.  The fixture-free ScopedEnv
+    // guards keep this immune to check.sh flavours exporting
+    // PEARL_THREADS.
+    ScopedEnv shared("PEARL_THREADS", nullptr);
+    ScopedEnv legacy("PEARL_STEP_THREADS", nullptr);
+
+    // Nothing set: fallback (serial) unless explicitly requested.
+    EXPECT_EQ(sim::resolveStepThreads(0), 1u);
+    EXPECT_EQ(sim::resolveStepThreads(2), 2u);
+
+    // Shared budget alone: applies to unconstrained requests only.
     {
-        ScopedEnv env("PEARL_STEP_THREADS", "3");
+        ScopedEnv env("PEARL_THREADS", "3");
         EXPECT_EQ(sim::resolveStepThreads(0), 3u);
         EXPECT_EQ(sim::resolveStepThreads(8), 8u);
     }
+
+    // Legacy knob alone: still honoured (deprecation shim).
+    {
+        ScopedEnv env("PEARL_STEP_THREADS", "5");
+        EXPECT_EQ(sim::resolveStepThreads(0), 5u);
+        EXPECT_EQ(sim::resolveStepThreads(8), 8u);
+    }
+
+    // Both set: the shared budget wins over the legacy knob.
+    {
+        ScopedEnv env("PEARL_THREADS", "3");
+        ScopedEnv env2("PEARL_STEP_THREADS", "5");
+        EXPECT_EQ(sim::resolveStepThreads(0), 3u);
+        EXPECT_EQ(sim::resolveStepThreads(8), 8u);
+    }
+
+    // PEARL_THREADS=0 means "unset": the legacy knob applies again.
+    {
+        ScopedEnv env("PEARL_THREADS", "0");
+        ScopedEnv env2("PEARL_STEP_THREADS", "5");
+        EXPECT_EQ(sim::resolveStepThreads(0), 5u);
+    }
+
+    // Unparseable values warn and fall through a layer.
+    {
+        ScopedEnv env("PEARL_THREADS", "abc");
+        ScopedEnv env2("PEARL_STEP_THREADS", "5");
+        EXPECT_EQ(sim::resolveStepThreads(0), 5u);
+    }
+    {
+        ScopedEnv env("PEARL_STEP_THREADS", "abc");
+        EXPECT_EQ(sim::resolveStepThreads(0), 1u);
+    }
+
+    // Legacy zero means "unset" too, landing on the fallback.
     {
         ScopedEnv env("PEARL_STEP_THREADS", "0");
         EXPECT_EQ(sim::resolveStepThreads(0), 1u);
-    }
-    {
-        ScopedEnv env("PEARL_STEP_THREADS", nullptr);
-        EXPECT_EQ(sim::resolveStepThreads(0), 1u);
-        EXPECT_EQ(sim::resolveStepThreads(2), 2u);
     }
 }
 
@@ -265,6 +316,24 @@ scale32Config(const traffic::BenchmarkSuite &suite)
     return cfg;
 }
 
+/** Electrical baseline, same shape as the cmesh golden: the default
+ *  4x4 CMESH over the golden pairs. */
+GoldenConfig
+cmeshGoldenConfig(const traffic::BenchmarkSuite &suite)
+{
+    GoldenConfig cfg;
+    cfg.name = "cmesh";
+    for (const auto &pair : goldenPairs(suite)) {
+        RunSpec job;
+        job.configName = cfg.name;
+        job.pair = pair;
+        job.options = goldenOptions();
+        job.fabric = RunSpec::Fabric::Cmesh;
+        cfg.jobs.push_back(std::move(job));
+    }
+    return cfg;
+}
+
 /** Data rows of a checked-in golden CSV (header skipped). */
 std::vector<std::string>
 goldenLines(const std::string &config)
@@ -338,6 +407,93 @@ TEST(ParallelStep, Scale32GroupedRowsByteIdenticalAtAnyThreadCount)
     }
 }
 
+TEST(ParallelStep, CmeshGoldenRowsByteIdenticalAtAnyThreadCount)
+{
+    // The cmesh golden was produced by the serial stepper, so equality
+    // at 2/8 lanes proves the wavefront-parallel CMESH step (region
+    // split + ascending-router fold) bit-identical to it.
+    traffic::BenchmarkSuite suite;
+    const GoldenConfig cfg = cmeshGoldenConfig(suite);
+    for (unsigned threads : {1u, 2u, 8u})
+        expectRowsMatchGolden(cfg, threads);
+}
+
+TEST(ParallelStep, GoldenRowsUnchangedWithRebalancingOn)
+{
+    // Dynamic shard rebalancing re-packs PEARL shard boundaries at
+    // every full reservation-window boundary; the fold order stays
+    // ascending-router, so the golden rows must not move by a byte.
+    ScopedEnv env("PEARL_REBALANCE", "1");
+    traffic::BenchmarkSuite suite;
+    for (const GoldenConfig &cfg : goldenGrid(suite))
+        expectRowsMatchGolden(cfg, 8);
+}
+
+// ---------------------------------------------------------------------
+// Shared-pool sweeps: jobs x lanes leased from one engine budget.
+// ---------------------------------------------------------------------
+
+TEST(ExecutionEngine, SharedPoolSweepMatchesSerialSweep)
+{
+    // 8 jobs under PEARL_THREADS=16 lease 8 job workers x 2 step lanes
+    // from the shared engine; the canonical CSV rows must match a
+    // fully serial sweep byte for byte, pinned or not.
+    traffic::BenchmarkSuite suite;
+    const auto pairs = goldenPairs(suite);
+    std::vector<RunSpec> jobs;
+    for (int i = 0; i < 8; ++i) {
+        RunSpec job;
+        job.configName = "shared";
+        job.pair = pairs[static_cast<std::size_t>(i) % pairs.size()];
+        job.options = goldenOptions();
+        job.options.measureCycles = 1200;
+        job.pearl.reservationWindow = 300 + 25 * i;
+        job.makePolicy = [] {
+            return std::make_unique<core::ReactivePolicy>();
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    SweepOptions so;
+    so.baseSeed = 42;
+
+    auto rows = [&](unsigned sweep_threads) {
+        SweepOptions run_so = so;
+        run_so.threads = sweep_threads;
+        const auto runs = SweepRunner(run_so).run(jobs).metricsOrThrow();
+        std::vector<std::string> out;
+        for (const RunMetrics &m : runs)
+            out.push_back(metrics::csvRow({m.pairLabel}, m));
+        return out;
+    };
+
+    std::vector<std::string> serial_rows;
+    {
+        ScopedEnv shared("PEARL_THREADS", nullptr);
+        ScopedEnv legacy("PEARL_SWEEP_THREADS", nullptr);
+        ScopedEnv step("PEARL_STEP_THREADS", nullptr);
+        serial_rows = rows(1);
+    }
+    ASSERT_EQ(serial_rows.size(), jobs.size());
+
+    {
+        ScopedEnv shared("PEARL_THREADS", "16");
+        const std::vector<std::string> pooled = rows(0);
+        ASSERT_EQ(pooled.size(), serial_rows.size());
+        for (std::size_t i = 0; i < pooled.size(); ++i)
+            EXPECT_EQ(pooled[i], serial_rows[i]) << "row " << i;
+    }
+    {
+        // Lane pinning is a placement hint, never a result change.
+        ScopedEnv shared("PEARL_THREADS", "16");
+        ScopedEnv pin("PEARL_PIN", "1");
+        const std::vector<std::string> pinned = rows(0);
+        ASSERT_EQ(pinned.size(), serial_rows.size());
+        for (std::size_t i = 0; i < pinned.size(); ++i)
+            EXPECT_EQ(pinned[i], serial_rows[i]) << "row " << i;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Lockstep differential and fuzz campaign.
 // ---------------------------------------------------------------------
@@ -376,18 +532,76 @@ TEST(ParallelStep, LockstepWithFaultsOnGroupedChip)
     }
 }
 
+TEST(ParallelStep, LockstepWithRebalancingOnGroupedChip)
+{
+    // Same faulted chip with dynamic shard rebalancing forced on: the
+    // re-packed shard boundaries must leave the lockstep comparison
+    // (and the invariant checker riding on it) byte-clean.
+    const verify::FuzzCase c = groupedFaultedCase();
+    for (unsigned threads : {2u, 4u, 8u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        verify::DiffCase dc = verify::toDiffCase(c);
+        dc.stepThreads = threads;
+        dc.rebalance = true;
+        const verify::DiffResult r = verify::runDiff(dc);
+        EXPECT_TRUE(r.ok()) << "diverged at cycle " << r.cycle << ": "
+                            << r.description;
+        EXPECT_GT(r.deliveredPackets, 0u);
+    }
+}
+
+TEST(ParallelStep, CmeshLockstepAtSeveralLaneCounts)
+{
+    // Parallel CMESH vs a second serial CmeshNetwork, lockstep every
+    // cycle, including the flit-conservation recount.
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        verify::CmeshDiffCase c;
+        c.cycles = 800;
+        c.cpuRate = 0.08;
+        c.gpuRate = 0.08;
+        c.stepThreads = threads;
+        const verify::DiffResult r = verify::runCmeshDiff(c);
+        EXPECT_TRUE(r.ok()) << "diverged at cycle " << r.cycle << ": "
+                            << r.description;
+        EXPECT_GT(r.deliveredPackets, 0u);
+    }
+}
+
+TEST(ParallelStep, CmeshLockstepOnNonSquareNarrowLinkMesh)
+{
+    // Non-square mesh (9 wavefront diagonals) with 2-cycle links, so
+    // link-register reuse and the pull-based delivery handoff are
+    // exercised off the default shape.
+    verify::CmeshDiffCase c;
+    c.cfg.meshX = 8;
+    c.cfg.meshY = 2;
+    c.cfg.linkCyclesPerFlit = 2;
+    c.cycles = 800;
+    c.cpuRate = 0.08;
+    c.gpuRate = 0.08;
+    c.stepThreads = 8;
+    const verify::DiffResult r = verify::runCmeshDiff(c);
+    EXPECT_TRUE(r.ok()) << "diverged at cycle " << r.cycle << ": "
+                        << r.description;
+    EXPECT_GT(r.deliveredPackets, 0u);
+}
+
 TEST(ParallelStep, FuzzCampaignWithRandomThreadCounts)
 {
     // Each generated case runs the differential harness with a
-    // case-dependent lane count in [2, 8]; the serial reference makes
-    // every comparison a parallel-vs-serial bit-identity proof.
+    // case-dependent lane count in [2, 8] and a case-dependent shard
+    // rebalancing flag; the serial reference makes every comparison a
+    // parallel-vs-serial bit-identity proof.
     const std::uint64_t cases = pearl::envU64("PEARL_FUZZ_CASES", 24);
     for (std::uint64_t i = 0; i < cases; ++i) {
         const verify::FuzzCase c = verify::generateCase(0xBEEF, i);
         verify::DiffCase dc = verify::toDiffCase(c);
         dc.stepThreads = 2 + static_cast<unsigned>(i % 7);
+        dc.rebalance = (i % 3) != 0;
         SCOPED_TRACE("case " + std::to_string(i) + " threads " +
-                     std::to_string(dc.stepThreads));
+                     std::to_string(dc.stepThreads) +
+                     (dc.rebalance ? " rebalance" : ""));
         const verify::DiffResult r = verify::runDiff(dc);
         EXPECT_TRUE(r.ok()) << "diverged at cycle " << r.cycle << ": "
                             << r.description << "\n"

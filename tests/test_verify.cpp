@@ -433,7 +433,7 @@ TEST(Invariants, MaxScaleChipRunsInvariantClean)
         net, pair, core::makeSystemConfig(topo),
         [&net](int n) { return &net.telemetryOf(n); });
 
-    // The CI verify job exports PEARL_STEP_THREADS=4 so this max-scale
+    // The CI verify job exports PEARL_THREADS=4 so this max-scale
     // audit also covers the sharded step path under ASan; the default
     // (1) keeps it serial.
     std::unique_ptr<sim::WorkerPool> pool;
